@@ -1,0 +1,35 @@
+"""Benchmark-suite fixtures.
+
+Each ``test_fig*.py`` regenerates one figure of the paper: it computes the
+full grid in *virtual* time, writes the paper-style table under
+``benchmarks/results/``, asserts the paper's shape claims, and times a
+representative scaled-down cell with pytest-benchmark (wall-clock of the
+simulator itself).
+
+Grid sizes are scaled for simulator throughput; set ``REPRO_BENCH_SCALE=2``
+(or higher) in the environment to run larger grids.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture(scope="session")
+def figure_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_figure(figure_dir: Path, name: str, text: str) -> None:
+    (figure_dir / name).write_text(text + "\n")
+    print("\n" + text)

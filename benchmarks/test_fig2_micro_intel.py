@@ -1,0 +1,63 @@
+"""Figure 2: microbenchmark latencies on the Intel (Skylake) profile.
+
+Paper quantities checked (eager vs 2021.3.6-defer, §IV-A):
+  * put speedup ≈ +92%;
+  * value-producing fetch-add speedup ≈ +46%;
+  * 2021.3.0 slower than 2021.3.6-defer (the orthogonal allocation
+    elision);
+  * no 2021.3.0 bar for the non-value fetching atomic (didn't exist).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.bench.harness import micro_grid, run_micro
+from repro.bench.report import export_micro_csv, format_micro_figure
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+V0 = Version.V2021_3_0
+
+MACHINE = "intel"
+PUT_BAND = (0.75, 1.15)  # paper: +92%
+FADD_BAND = (0.30, 0.65)  # paper: +46%
+
+
+def _speedup(grid, op):
+    return grid[(op, VD)].ns_per_op / grid[(op, VE)].ns_per_op - 1
+
+
+def test_fig2_micro_intel(benchmark, figure_dir):
+    n_ops = 150 * bench_scale()
+    grid = micro_grid(MACHINE, n_ops=n_ops, n_samples=3)
+    write_figure(
+        figure_dir,
+        "fig2_micro_intel.txt",
+        format_micro_figure(
+            "Figure 2: Intel (Skylake) microbenchmarks [virtual ns/op]",
+            grid,
+        ),
+    )
+    (figure_dir / "fig2_micro_intel.csv").write_text(
+        export_micro_csv(grid)
+    )
+    # paper shape assertions
+    assert PUT_BAND[0] <= _speedup(grid, "put") <= PUT_BAND[1]
+    assert FADD_BAND[0] <= _speedup(grid, "fadd") <= FADD_BAND[1]
+    assert grid[("fadd_nv", V0)] is None  # op didn't exist in 2021.3.0
+    for op in ("put", "get", "get_nv", "fadd"):
+        assert (
+            grid[(op, V0)].ns_per_op
+            >= grid[(op, VD)].ns_per_op
+            >= grid[(op, VE)].ns_per_op
+        )
+    # non-value ops beat their value-producing counterparts under eager
+    assert grid[("get_nv", VE)].ns_per_op < grid[("get", VE)].ns_per_op
+    assert grid[("fadd_nv", VE)].ns_per_op < grid[("fadd", VE)].ns_per_op
+
+    # wall-clock of the simulator on one representative cell
+    benchmark.pedantic(
+        lambda: run_micro("put", VE, MACHINE, n_ops=50, n_samples=1),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Figure 3: microbenchmark latencies on the IBM (POWER9) profile.
+
+Paper quantities checked (§IV-A):
+  * put speedup ≈ +95%;
+  * value fetch-add speedup ≈ +15% (smallest of the three platforms);
+  * non-value vs value gap ≈ 90% for both atomics and gets.
+"""
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.bench.harness import micro_grid, run_micro
+from repro.bench.report import export_micro_csv, format_micro_figure
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+MACHINE = "ibm"
+
+
+def _speedup(grid, op):
+    return grid[(op, VD)].ns_per_op / grid[(op, VE)].ns_per_op - 1
+
+
+def _gap(grid, value_op, nv_op):
+    return grid[(value_op, VE)].ns_per_op / grid[(nv_op, VE)].ns_per_op - 1
+
+
+def test_fig3_micro_ibm(benchmark, figure_dir):
+    n_ops = 150 * bench_scale()
+    grid = micro_grid(MACHINE, n_ops=n_ops, n_samples=3)
+    write_figure(
+        figure_dir,
+        "fig3_micro_ibm.txt",
+        format_micro_figure(
+            "Figure 3: IBM (POWER9) microbenchmarks [virtual ns/op]", grid
+        ),
+    )
+    (figure_dir / "fig3_micro_ibm.csv").write_text(
+        export_micro_csv(grid)
+    )
+    assert 0.80 <= _speedup(grid, "put") <= 1.15  # paper: +95%
+    assert 0.08 <= _speedup(grid, "fadd") <= 0.25  # paper: +15%
+    # "about 90% for both atomics and gets on IBM"
+    assert 0.70 <= _gap(grid, "fadd", "fadd_nv") <= 1.10
+    assert 0.70 <= _gap(grid, "get", "get_nv") <= 1.10
+
+    benchmark.pedantic(
+        lambda: run_micro("fadd", VE, MACHINE, n_ops=50, n_samples=1),
+        rounds=3,
+        iterations=1,
+    )

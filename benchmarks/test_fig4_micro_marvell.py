@@ -1,0 +1,48 @@
+"""Figure 4: microbenchmark latencies on the Marvell (ThunderX2) profile.
+
+Paper quantities checked (§IV-A):
+  * put speedup ≈ +95%;
+  * value fetch-add speedup ≈ +52%;
+  * non-value fetch-add beats value fetch-add by ≈ 66% under eager.
+"""
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.bench.harness import micro_grid, run_micro
+from repro.bench.report import export_micro_csv, format_micro_figure
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+MACHINE = "marvell"
+
+
+def _speedup(grid, op):
+    return grid[(op, VD)].ns_per_op / grid[(op, VE)].ns_per_op - 1
+
+
+def test_fig4_micro_marvell(benchmark, figure_dir):
+    n_ops = 150 * bench_scale()
+    grid = micro_grid(MACHINE, n_ops=n_ops, n_samples=3)
+    write_figure(
+        figure_dir,
+        "fig4_micro_marvell.txt",
+        format_micro_figure(
+            "Figure 4: Marvell (ThunderX2) microbenchmarks [virtual ns/op]",
+            grid,
+        ),
+    )
+    (figure_dir / "fig4_micro_marvell.csv").write_text(
+        export_micro_csv(grid)
+    )
+    assert 0.80 <= _speedup(grid, "put") <= 1.15  # paper: +95%
+    assert 0.38 <= _speedup(grid, "fadd") <= 0.70  # paper: +52%
+    gap = (
+        grid[("fadd", VE)].ns_per_op / grid[("fadd_nv", VE)].ns_per_op - 1
+    )
+    assert 0.50 <= gap <= 0.90  # paper: 66%
+
+    benchmark.pedantic(
+        lambda: run_micro("get_nv", VE, MACHINE, n_ops=50, n_samples=1),
+        rounds=3,
+        iterations=1,
+    )

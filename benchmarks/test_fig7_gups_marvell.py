@@ -1,0 +1,59 @@
+"""Figure 7: GUPS, Marvell (ThunderX2) profile, 16 processes.
+
+Paper quantities (§IV-B): RMA w/promises +25% (the largest promise gain);
+RMA w/futures 2.4× (the smallest future-conjoining ratio).
+"""
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.apps.gups import GupsConfig, run_gups
+from repro.bench.harness import gups_grid
+from repro.bench.report import export_gups_csv, format_gups_figure
+from repro.runtime.config import Version
+
+from benchmarks.test_fig5_gups_intel import check_common_gups_shapes
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+MACHINE = "marvell"
+
+
+def test_fig7_gups_marvell(benchmark, figure_dir):
+    s = bench_scale()
+    grid = gups_grid(
+        MACHINE, ranks=16, table_log2=12, updates_per_rank=96 * s, batch=32
+    )
+    write_figure(
+        figure_dir,
+        "fig7_gups_marvell.txt",
+        format_gups_figure(
+            "Figure 7: GUPS on Marvell, 16 processes "
+            "[giga-updates/sec of virtual time]",
+            grid,
+        ),
+    )
+    (figure_dir / "fig7_gups_marvell.csv").write_text(
+        export_gups_csv(grid)
+    )
+    check_common_gups_shapes(grid)
+
+    def sp(var):
+        return grid[(var, VD)].solve_ns / grid[(var, VE)].solve_ns
+
+    assert 1.15 <= sp("rma_promise") <= 1.40  # paper: 1.25
+    assert sp("amo_promise") < sp("rma_promise")
+    assert 1.8 <= sp("rma_future") <= 4.0  # paper: 2.4x
+    assert sp("rma_future") < 8.0  # well below IBM's ratio
+
+    benchmark.pedantic(
+        lambda: run_gups(
+            GupsConfig(
+                variant="amo_future", table_log2=10,
+                updates_per_rank=32, batch=16,
+            ),
+            ranks=4,
+            version=VE,
+            machine=MACHINE,
+        ),
+        rounds=3,
+        iterations=1,
+    )

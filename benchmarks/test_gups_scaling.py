@@ -1,0 +1,72 @@
+"""§IV-B's process-count sweep: "We ran experiments using 1, 2, 4, 8, and
+16 processes … results for other process counts show the same trends."
+
+Checks that the eager-vs-defer trends quoted for 16 processes hold across
+the sweep (the promise gain exists at every count; the future-conjoining
+blowup exists at every count).
+"""
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.apps.gups import GupsConfig, run_gups
+from repro.bench.report import format_table
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+RANK_SWEEP = (1, 2, 4, 8, 16)
+
+
+def test_gups_scaling(benchmark, figure_dir):
+    s = bench_scale()
+    rows = []
+    trends = {}
+    for ranks in RANK_SWEEP:
+        cells = {}
+        for variant in ("rma_promise", "rma_future"):
+            cfg = GupsConfig(
+                variant=variant,
+                table_log2=12,
+                updates_per_rank=64 * s,
+                batch=32,
+            )
+            for v in (VD, VE):
+                cells[(variant, v)] = run_gups(
+                    cfg, ranks=ranks, version=v, machine="intel"
+                ).solve_ns
+        promise_sp = cells[("rma_promise", VD)] / cells[("rma_promise", VE)]
+        future_sp = cells[("rma_future", VD)] / cells[("rma_future", VE)]
+        trends[ranks] = (promise_sp, future_sp)
+        rows.append(
+            [
+                str(ranks),
+                f"{promise_sp:.2f}x",
+                f"{future_sp:.2f}x",
+            ]
+        )
+    write_figure(
+        figure_dir,
+        "gups_scaling.txt",
+        format_table(
+            "GUPS eager/defer speedup vs process count (Intel)",
+            ["ranks", "rma_promise", "rma_future"],
+            rows,
+        ),
+    )
+    for ranks, (p_sp, f_sp) in trends.items():
+        assert p_sp > 1.02, f"promise gain vanished at {ranks} ranks"
+        assert f_sp > 1.5, f"future blowup vanished at {ranks} ranks"
+        assert f_sp > p_sp, "futures must gain more than promises"
+
+    benchmark.pedantic(
+        lambda: run_gups(
+            GupsConfig(
+                variant="rma_promise", table_log2=10,
+                updates_per_rank=32, batch=16,
+            ),
+            ranks=8,
+            version=VE,
+            machine="intel",
+        ),
+        rounds=3,
+        iterations=1,
+    )

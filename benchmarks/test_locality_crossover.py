@@ -1,0 +1,55 @@
+"""The locality-crossover study (extension): eager-notification gain as a
+function of the fraction of operations resolved on-node.
+
+Quantifies the paper's motivating claim (§I): deferral costs matter "for
+applications where most asynchronous communication operations are
+resolved on-node, or that happen to be run on a single node", while the
+off-node path is unharmed (the −0/+0 end of the sweep is the §IV-A
+off-node result seen from another angle).
+"""
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.bench.report import format_table
+from repro.bench.sweeps import locality_sweep
+
+
+def test_locality_crossover(benchmark, figure_dir):
+    s = bench_scale()
+    points = locality_sweep(
+        fractions=(0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
+        ranks=4,
+        updates=96 * s,
+        machine="intel",
+    )
+    rows = [
+        [
+            f"{p.local_fraction * 100:.0f}%",
+            f"{p.defer_ns / 1e3:.1f}",
+            f"{p.eager_ns / 1e3:.1f}",
+            f"{p.speedup * 100:+.1f}%",
+        ]
+        for p in points
+    ]
+    write_figure(
+        figure_dir,
+        "ext_locality_crossover.txt",
+        format_table(
+            "Extension: eager gain vs fraction of on-node targets "
+            "(Intel, 4 ranks, 2 nodes)",
+            ["on-node", "defer us", "eager us", "eager gain"],
+            rows,
+        ),
+    )
+    by_frac = {p.local_fraction: p.speedup for p in points}
+    # fully off-node: within noise of zero (the one-branch §IV-A claim)
+    assert abs(by_frac[0.0]) < 0.02
+    # fully on-node: a substantial gain
+    assert by_frac[1.0] > 0.15
+    # monotone trend across the sweep (allowing small noise at the bottom)
+    assert by_frac[1.0] > by_frac[0.9] > by_frac[0.5] > by_frac[0.0] - 0.02
+
+    benchmark.pedantic(
+        lambda: locality_sweep(fractions=(1.0,), ranks=4, updates=32),
+        rounds=3,
+        iterations=1,
+    )

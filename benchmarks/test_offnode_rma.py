@@ -1,0 +1,41 @@
+"""§IV-A's off-node check (the study "omitted due to space limitations").
+
+Two nodes communicating over the network: the build with eager-completion
+support pays exactly one extra branch on the off-node RMA path, which must
+be statistically invisible next to the network latency — and the off-node
+AMO path is unchanged entirely.
+"""
+
+from benchmarks.conftest import write_figure
+from repro.bench.harness import offnode_grid
+from repro.bench.report import format_offnode_figure
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+
+def test_offnode_rma(benchmark, figure_dir):
+    grid = offnode_grid("intel", n_ops=40)
+    write_figure(
+        figure_dir,
+        "offnode_rma.txt",
+        format_offnode_figure(
+            "Off-node RMA latency (two nodes, Intel + ibv): "
+            "defer vs eager-capable build",
+            grid,
+        ),
+    )
+    for op in ("put", "get"):
+        d, e = grid[(op, VD)], grid[(op, VE)]
+        delta = abs(e - d) / d
+        assert delta < 0.005, (
+            f"off-node {op} changed by {delta * 100:.2f}% — the eager "
+            "branch must be statistically insignificant"
+        )
+        assert e >= d  # the branch adds, never removes, work
+
+    benchmark.pedantic(
+        lambda: offnode_grid("intel", ops=("put",), n_ops=10),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""The paper's sampling protocol, exercised end-to-end under noise.
+
+§IV: "Each experimental result was obtained by running twenty samples,
+taking the average of the top ten.  The exception is GUPS on IBM with 16
+processes; due to higher noise in this experiment, we ran 60 samples and
+took the average of the top ten."
+
+With the one-sided noise model enabled, this benchmark reproduces the
+methodology itself: on the noisy IBM GUPS cell, the 60-sample top-10
+estimate is closer to the noise-free truth than the 20-sample one, and
+both beat the plain mean — the reason the authors escalated the sample
+count for exactly this cell.
+"""
+
+import statistics
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.apps.gups import GupsConfig, run_gups
+from repro.bench.report import format_table
+from repro.runtime.config import Version
+from repro.sim.stats import paper_average
+
+VE = Version.V2021_3_6_EAGER
+
+#: IBM's GUPS is "higher noise" in the paper; model that with a larger σ.
+IBM_NOISE = 0.12
+
+
+def _sample(cfg, i):
+    return run_gups(
+        cfg, ranks=8, version=VE, machine="ibm",
+        noise=IBM_NOISE, noise_seed=i + 1,
+    ).solve_ns
+
+
+def test_sampling_protocol_ibm_gups(benchmark, figure_dir):
+    s = bench_scale()
+    cfg = GupsConfig(
+        variant="rma_promise", table_log2=11, updates_per_rank=48 * s,
+        batch=16,
+    )
+    truth = run_gups(cfg, ranks=8, version=VE, machine="ibm").solve_ns
+    samples60 = [_sample(cfg, i) for i in range(60)]
+    samples20 = samples60[:20]
+    est20 = paper_average(samples20, top=10).value
+    est60 = paper_average(samples60, top=10).value
+    mean20 = statistics.mean(samples20)
+
+    write_figure(
+        figure_dir,
+        "sampling_protocol.txt",
+        format_table(
+            "Sampling protocol on the noisy IBM GUPS cell "
+            "(truth = noise-free virtual time)",
+            ["estimator", "value us", "error vs truth"],
+            [
+                ["noise-free truth", f"{truth / 1e3:.1f}", "--"],
+                ["mean of 20", f"{mean20 / 1e3:.1f}",
+                 f"{(mean20 / truth - 1) * 100:+.1f}%"],
+                ["top-10 of 20 (paper default)", f"{est20 / 1e3:.1f}",
+                 f"{(est20 / truth - 1) * 100:+.1f}%"],
+                ["top-10 of 60 (paper, IBM GUPS)", f"{est60 / 1e3:.1f}",
+                 f"{(est60 / truth - 1) * 100:+.1f}%"],
+            ],
+        ),
+    )
+    # one-sided noise: every estimator sits above the truth
+    assert truth <= est60 <= est20 <= mean20
+    # escalating the sample count tightens the estimate — the reason for
+    # the paper's 60-sample exception on this cell
+    assert (est60 - truth) <= (est20 - truth)
+    assert (est20 - truth) < (mean20 - truth)
+
+    benchmark.pedantic(lambda: _sample(cfg, 0), rounds=3, iterations=1)

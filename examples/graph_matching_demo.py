@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Graph-matching demo: the paper's Figure 8 experiment at laptop scale.
+
+Computes a half-approximate maximum-weight matching with the distributed
+locally-dominant algorithm over UPC++-style RMA, across the five input
+graphs and three library builds, and shows how the eager-notification
+speedup tracks each graph's cross-rank edge fraction.
+
+Usage::
+
+    python examples/graph_matching_demo.py [ranks] [scale]
+"""
+
+import sys
+
+from repro.apps.graphs import GRAPH_NAMES, make_graph
+from repro.apps.matching import (
+    MatchingConfig,
+    matching_weight,
+    run_matching,
+    serial_matching,
+)
+from repro.bench.harness import graph_localities
+from repro.bench.report import format_matching_figure
+from repro.runtime.config import Version
+
+V0 = Version.V2021_3_0
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+
+def main(ranks: int = 16, scale: int = 3) -> None:
+    print(
+        f"Distributed half-approx matching: {ranks} simulated processes, "
+        f"scale {scale}\n"
+    )
+    loc = graph_localities(ranks=ranks, scale=scale)
+    grid = {}
+    for name in GRAPH_NAMES:
+        cfg = MatchingConfig(graph=name, scale=scale)
+        g = cfg.build_graph()
+        ref = serial_matching(g)
+        for v in (V0, VD, VE):
+            r = run_matching(cfg, ranks=ranks, version=v, graph=g)
+            grid[(name, v)] = r
+            assert r.mate == ref, "distributed result must equal serial"
+        opt_hint = matching_weight(g, ref)
+        print(
+            f"  {name:9s} n={g.n:6d} m={g.n_edges:6d} "
+            f"weight={opt_hint:9.2f} rounds={r.rounds:2d} "
+            f"msgs={r.cross_messages}"
+        )
+    print()
+    print(
+        format_matching_figure(
+            f"Matching solve time, Intel, {ranks} processes [virtual ms]",
+            grid,
+            loc,
+        )
+    )
+    print(
+        "\nPaper (Figure 8): channel ~0%, venturi 2%, random 5%, "
+        "delaunay 6%, youtube 11% —\nthe speedup follows the fraction of "
+        "updates that target co-located processes."
+    )
+
+
+if __name__ == "__main__":
+    ranks = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    main(ranks, scale)

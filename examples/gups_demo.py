@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""GUPS demo: the paper's Figure 5 experiment at laptop scale.
+
+Runs the HPC Challenge RandomAccess benchmark in all six UPC++ variants
+(§IV-B) on the Intel machine profile, across the three library builds,
+and prints the figure as a table plus the prose quantities the paper
+reports.
+
+Usage::
+
+    python examples/gups_demo.py [ranks] [updates_per_rank]
+"""
+
+import sys
+
+from repro.bench.harness import gups_grid
+from repro.bench.report import format_gups_figure
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+
+def main(ranks: int = 16, updates: int = 96) -> None:
+    print(
+        f"Running GUPS: {ranks} simulated processes, "
+        f"{updates} updates/rank, 6 variants x 3 builds ...\n"
+    )
+    grid = gups_grid(
+        "intel",
+        ranks=ranks,
+        table_log2=12,
+        updates_per_rank=updates,
+        batch=32,
+    )
+    print(
+        format_gups_figure(
+            f"GUPS on Intel, {ranks} processes "
+            "[giga-updates/sec of virtual time]",
+            grid,
+        )
+    )
+
+    def sp(var):
+        return grid[(var, VD)].solve_ns / grid[(var, VE)].solve_ns
+
+    print()
+    print("Paper quantities (eager vs 2021.3.6-defer):")
+    print(f"  pure RMA w/promises : +{(sp('rma_promise') - 1) * 100:.0f}%"
+          "   (paper, Intel: +15%)")
+    print(f"  atomics  w/promises : +{(sp('amo_promise') - 1) * 100:.0f}%"
+          "    (paper, Intel: +1-4%)")
+    print(f"  pure RMA w/futures  : {sp('rma_future'):.1f}x"
+          "    (paper: 2.4x-13.5x across systems)")
+    print(f"  atomics  w/futures  : {sp('amo_future'):.1f}x"
+          "    (paper, Intel: 1.5x)")
+    checks = all(
+        grid[(v, ver)].matches_oracle
+        for v in ("amo_promise", "amo_future", "raw", "manual")
+        for ver in (VD, VE)
+    )
+    print(f"\nexact variants match the serial oracle: {checks}")
+
+
+if __name__ == "__main__":
+    ranks = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    updates = int(sys.argv[2]) if len(sys.argv) > 2 else 96
+    main(ranks, updates)

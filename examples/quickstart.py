@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quickstart: the UPC++-style API in five minutes.
+
+Runs a 4-rank SPMD program exercising global pointers, RMA, futures,
+promises, completions (including the paper's eager/deferred distinction),
+atomics, and RPC — then prints what the eager build saved.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AtomicDomain,
+    Promise,
+    Version,
+    barrier,
+    current_ctx,
+    new_,
+    new_array,
+    operation_cx,
+    rank_me,
+    rank_n,
+    rget,
+    rpc,
+    rput,
+    when_all,
+)
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime import spmd_run
+from repro.sim.costmodel import CostAction
+
+
+def main():
+    me, n = rank_me(), rank_n()
+
+    # -- shared-heap allocation and global pointers -----------------------
+    # Every rank allocates a counter in its shared segment.  Allocation is
+    # lock-step SPMD, so the offsets agree and pointers can be exchanged
+    # by rank substitution (a dist_object would carry the same info).
+    counter = new_("u64", 0)
+    neighbors = [GlobalPtr(r, counter.offset, counter.ts) for r in range(n)]
+    barrier()
+
+    # -- one-sided RMA with future completion ------------------------------
+    right = neighbors[(me + 1) % n]
+    fut = rput(100 + me, right)  # write into my right neighbor
+    fut.wait()
+    barrier()
+    got = rget(counter).wait()  # what my left neighbor wrote
+    assert got == 100 + (me - 1) % n
+
+    # -- promises: one allocation tracking many operations ----------------
+    table = new_array("u64", 8)
+    p = Promise()
+    for i in range(8):
+        rput(i * i, table + i, operation_cx.as_promise(p))
+    p.finalize().wait()
+    assert [table.local()[i] for i in range(8)] == [i * i for i in range(8)]
+
+    # -- conjoining futures (the Figure 1 idiom) ---------------------------
+    f = when_all(*(rput(1, table + i) for i in range(8)))
+    f.wait()
+
+    # -- atomics, including the new non-value fetching form ----------------
+    # (a dedicated cell: the ring counters above may still be being read)
+    hits = new_("u64", 0)
+    barrier()
+    ad = AtomicDomain({"fetch_add", "add"}, "u64")
+    hits0 = GlobalPtr(0, hits.offset, hits.ts)
+    old = ad.fetch_add(hits0, 1).wait()  # everyone bumps rank 0's cell
+    result_slot = new_("u64")
+    ad.fetch_add_into(hits0, 0, result_slot).wait()  # fetch into memory
+    barrier()
+
+    # -- RPC ---------------------------------------------------------------
+    if me == 0:
+        peer_rank = rpc(n - 1, rank_me).wait()
+        assert peer_rank == n - 1
+    barrier()
+
+    # -- what did eager notification buy this rank? ------------------------
+    ctx = current_ctx()
+    return {
+        "rank": me,
+        "virtual_us": round(ctx.clock.now_ns / 1000, 1),
+        "promise_cells_allocated": ctx.costs.count(
+            CostAction.HEAP_ALLOC_PROMISE_CELL
+        ),
+        "deferred_dispatches": ctx.costs.count(
+            CostAction.PROGRESS_DISPATCH
+        ),
+        "fetch_add_old_value": int(old),
+    }
+
+
+if __name__ == "__main__":
+    for version in (Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER):
+        print(f"== {version.value} ==")
+        result = spmd_run(main, ranks=4, version=version, machine="intel")
+        for row in result.values:
+            print("  ", row)
+    print(
+        "\nNote how the eager build allocates far fewer internal promise "
+        "cells\nand performs almost no deferred dispatches for the same "
+        "program."
+    )

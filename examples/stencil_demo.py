@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Stencil demo: when eager notification does NOT matter.
+
+Runs the Jacobi halo-exchange solver across the three builds and block
+sizes, showing the complementary regime to GUPS: coarse-grained
+communication amortizes the per-operation overhead that eager
+notification removes, so the speedup fades as blocks grow.
+
+Usage::
+
+    python examples/stencil_demo.py [ranks]
+"""
+
+import sys
+
+from repro.apps.stencil import StencilConfig, run_stencil
+from repro.bench.report import format_table
+from repro.runtime.config import Version
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+
+def main(ranks: int = 8) -> None:
+    rows = []
+    for n in (256, 1024, 4096):
+        cfg = StencilConfig(n=n, iterations=10)
+        td = run_stencil(cfg, ranks=ranks, version=VD, machine="intel")
+        te = run_stencil(cfg, ranks=ranks, version=VE, machine="intel")
+        assert td.matches_serial and te.matches_serial
+        rows.append(
+            [
+                str(n),
+                f"{td.solve_ns / 1e3:.1f}",
+                f"{te.solve_ns / 1e3:.1f}",
+                f"+{(td.solve_ns / te.solve_ns - 1) * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            f"Jacobi stencil, {ranks} ranks, 10 iterations (Intel profile)",
+            ["cells", "defer us", "eager us", "eager gain"],
+            rows,
+        )
+    )
+    print(
+        "\nCompare with GUPS (examples/gups_demo.py): the same eager\n"
+        "machinery that wins 2-15x on fine-grained random access buys only\n"
+        "a few percent here, because each halo exchange is two operations\n"
+        "per iteration regardless of block size."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

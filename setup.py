@@ -1,0 +1,17 @@
+"""Setuptools shim (the environment's setuptools predates PEP 660 editable
+installs from pyproject.toml alone)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Optimization of Asynchronous Communication "
+        "Operations through Eager Notifications' (SC 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,42 @@
+"""Benchmark applications from the paper's evaluation (Section IV):
+
+* :mod:`repro.apps.gups` — the HPC Challenge RandomAccess benchmark in six
+  UPC++ variants (Figures 5–7);
+* :mod:`repro.apps.graphs` — synthetic input graphs with the locality
+  spectrum of the paper's five matching inputs;
+* :mod:`repro.apps.matching` — the ExaGraph half-approximate maximum-weight
+  graph matching application over UPC++-style RMA (Figure 8).
+"""
+
+from repro.apps.dht import DhtConfig, DhtResult, DistributedHashMap, run_dht
+from repro.apps.graphs import GRAPH_NAMES, Graph, locality_fractions, make_graph
+from repro.apps.gups import GUPS_VARIANTS, GupsConfig, GupsResult, run_gups
+from repro.apps.matching import MatchingConfig, MatchingResult, run_matching
+from repro.apps.stencil import (
+    StencilConfig,
+    StencilResult,
+    run_stencil,
+    serial_jacobi,
+)
+
+__all__ = [
+    "GUPS_VARIANTS",
+    "GupsConfig",
+    "GupsResult",
+    "run_gups",
+    "GRAPH_NAMES",
+    "Graph",
+    "make_graph",
+    "locality_fractions",
+    "MatchingConfig",
+    "MatchingResult",
+    "run_matching",
+    "DistributedHashMap",
+    "DhtConfig",
+    "DhtResult",
+    "run_dht",
+    "StencilConfig",
+    "StencilResult",
+    "run_stencil",
+    "serial_jacobi",
+]

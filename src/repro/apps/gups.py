@@ -1,0 +1,387 @@
+"""GUPS — the HPC Challenge RandomAccess benchmark (paper §IV-B).
+
+A table of 2^m 64-bit words is block-distributed over the ranks; each rank
+performs a stream of updates ``table[ran & (N-1)] ^= ran`` where ``ran``
+follows the HPCC pseudo-random sequence.  Unsynchronized updates are
+permitted to race (HPCC tolerates up to 1% lost updates); the atomic
+variants are exact.
+
+Six variants, exactly the paper's:
+
+``raw``
+    "bypasses UPC++ entirely, using pure C++": locality checks, downcasts
+    and all UPC++ calls are factored *out of the loop*; each update is a
+    plain load/xor/store.  Single-node only; the upper bound.
+``manual``
+    manual localization: per update, ``is_local()`` + downcast + direct
+    store (works for distributed runs too; on one node every check
+    succeeds).
+``rma_promise``
+    pure RMA ignoring locality: batches of value-less ``rget_into`` tracked
+    by one promise, local xor, then batched ``rput`` tracked by a promise.
+``rma_future``
+    same data path, but conjoining per-op futures with ``when_all`` in a
+    loop (Figure 1's dependency graph in the deferred builds).
+``amo_promise``
+    remote atomic ``bit_xor`` per update, promise-tracked per batch.
+``amo_future``
+    remote atomic ``bit_xor`` per update, future-conjoined per batch.
+
+Every variant charges the same per-update "application work": the HPCC
+random-number step, index arithmetic, and one random DRAM access (the
+table is far larger than cache).  The runtime overhead differences between
+builds ride on top of that shared base, which is what makes the promise
+variants' speedups modest (15%/9%/25% for RMA, 1–4% for the pricier
+atomics) while the future-conjoining variants blow up under deferred
+notification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import (
+    AtomicDomain,
+    barrier,
+    current_ctx,
+    make_future,
+    new_array,
+    operation_cx,
+    rank_me,
+    rank_n,
+    rget_into,
+    rput,
+    when_all,
+)
+from repro.core.promise import Promise
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.config import Version
+from repro.runtime.runtime import SpmdResult, spmd_run
+from repro.sim.costmodel import CostAction
+
+GUPS_VARIANTS = (
+    "raw",
+    "manual",
+    "rma_promise",
+    "rma_future",
+    "amo_promise",
+    "amo_future",
+)
+
+_MASK64 = (1 << 64) - 1
+_POLY = 0x0000000000000007
+
+
+def hpcc_next(ran: int) -> int:
+    """One step of the HPCC RandomAccess sequence (x^64 LFSR with POLY)."""
+    return ((ran << 1) & _MASK64) ^ (_POLY if ran >> 63 else 0)
+
+
+def hpcc_stream(seed: int, n: int) -> list[int]:
+    """``n`` values of the update stream starting from ``seed`` (nonzero)."""
+    ran = seed & _MASK64 or 1
+    out = []
+    for _ in range(n):
+        ran = hpcc_next(ran)
+        out.append(ran)
+    return out
+
+
+def rank_seed(global_seed: int, rank: int) -> int:
+    """A well-separated per-rank starting point (splitmix64 of the pair)."""
+    z = (global_seed * 0x9E3779B97F4A7C15 + rank + 1) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) or 1
+
+
+@dataclass(frozen=True)
+class GupsConfig:
+    """Parameters of one GUPS run (sizes scaled down for the simulator)."""
+
+    variant: str = "rma_promise"
+    table_log2: int = 12  # total table size N = 2**table_log2 words
+    updates_per_rank: int = 256
+    batch: int = 32
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.variant not in GUPS_VARIANTS:
+            raise ValueError(
+                f"unknown GUPS variant {self.variant!r}; "
+                f"known: {GUPS_VARIANTS}"
+            )
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+
+@dataclass
+class GupsResult:
+    """Outcome of one GUPS run."""
+
+    config: GupsConfig
+    ranks: int
+    version: Version
+    machine: str
+    total_updates: int
+    solve_ns: float
+    #: giga-updates per second of *virtual* time
+    gups: float
+    #: xor-reduction of the final table (lost updates make this differ
+    #: from the oracle for the racy variants; atomic/raw/manual are exact
+    #: when updates don't race within an update step)
+    checksum: int
+    oracle_checksum: int
+
+    #: final table contents (concatenated across ranks), for HPCC-style
+    #: verification
+    table: "np.ndarray | None" = None
+
+    @property
+    def matches_oracle(self) -> bool:
+        return self.checksum == self.oracle_checksum
+
+    @property
+    def error_fraction(self) -> float:
+        """HPCC verification: the fraction of table entries differing
+        from a race-free execution.  HPCC accepts a run when this is at
+        most 1% (lost updates from unsynchronized racing are allowed for
+        the RMA variants; atomic/raw/manual variants must be exact)."""
+        if self.table is None:
+            raise ValueError("run_gups was invoked with collect_table=False")
+        oracle = oracle_table(self.config, self.ranks)
+        return float(np.count_nonzero(self.table != oracle)) / len(oracle)
+
+    @property
+    def passes_hpcc_verification(self) -> bool:
+        return self.error_fraction <= 0.01
+
+
+def oracle_table(cfg: GupsConfig, ranks: int) -> np.ndarray:
+    """The table a race-free execution produces (xor is commutative, so
+    any serialization of the updates gives this result)."""
+    n = 1 << cfg.table_log2
+    table = np.arange(n, dtype=np.uint64)
+    for r in range(ranks):
+        for ran in hpcc_stream(rank_seed(cfg.seed, r), cfg.updates_per_rank):
+            table[ran & (n - 1)] ^= np.uint64(ran)
+    return table
+
+
+def _charge_update_work(ctx) -> None:
+    """The per-update application work common to every variant: the HPCC
+    RNG step, masking/index arithmetic, and the random DRAM touch."""
+    ctx.charge(CostAction.FUNCTION_CALL, 3)
+    ctx.charge(CostAction.DRAM_RANDOM_ACCESS)
+
+
+def _gups_body(cfg: GupsConfig):
+    """The SPMD body; returns this rank's xor over its owned table part."""
+    ctx = current_ctx()
+    me, p = rank_me(), rank_n()
+    n = 1 << cfg.table_log2
+    if n % p:
+        raise ValueError("table size must divide evenly across ranks")
+    per_rank = n // p
+    mine = new_array("u64", per_rank)
+    view = ctx.segment.view_array(mine.offset, mine.ts, per_rank)
+    view[:] = np.arange(me * per_rank, (me + 1) * per_rank, dtype=np.uint64)
+
+    # exchange base pointers (every rank allocates in lock-step, so the
+    # offsets agree; a dist_object fetch would carry the same information)
+    bases = [GlobalPtr(r, mine.offset, mine.ts) for r in range(p)]
+    stream = hpcc_stream(rank_seed(cfg.seed, me), cfg.updates_per_rank)
+    barrier()
+    ctx.clock.mark("solve")
+
+    runner = _VARIANT_BODIES[cfg.variant]
+    runner(ctx, cfg, bases, per_rank, stream)
+
+    barrier()
+    solve_ns = ctx.clock.elapsed_since("solve")
+    local_xor = int(np.bitwise_xor.reduce(view)) if per_rank else 0
+    return solve_ns, local_xor, view.copy()
+
+
+# ---------------------------------------------------------------------------
+# variant bodies
+# ---------------------------------------------------------------------------
+
+
+def _target(bases, per_rank, ran):
+    idx = ran & (len(bases) * per_rank - 1)
+    return bases[idx // per_rank] + (idx % per_rank)
+
+
+def _run_raw(ctx, cfg, bases, per_rank, stream):
+    """Raw single-node version: downcasts hoisted out of the loop."""
+    if ctx.world.n_nodes != 1:
+        raise ValueError("the raw variant supports single-node runs only")
+    views = [
+        ctx.world.segment_of(b.rank).view_array(b.offset, b.ts, per_rank)
+        for b in bases
+    ]
+    for ran in stream:
+        _charge_update_work(ctx)
+        idx = ran & (len(bases) * per_rank - 1)
+        v = views[idx // per_rank]
+        off = idx % per_rank
+        ctx.charge(CostAction.CPU_LOAD)
+        ctx.charge(CostAction.CPU_STORE)
+        v[off] = v[off] ^ np.uint64(ran)
+
+
+def _run_manual(ctx, cfg, bases, per_rank, stream):
+    """Manual localization: per-update locality check + downcast."""
+    for ran in stream:
+        _charge_update_work(ctx)
+        dest = _target(bases, per_rank, ran)
+        if dest.is_local(ctx):
+            ref = dest.local(ctx)
+            ctx.charge(CostAction.CPU_LOAD)
+            old = ref.segment.read_scalar(ref.offset, ref.ts)
+            ctx.charge(CostAction.CPU_STORE)
+            ref.segment.write_scalar(ref.offset, ref.ts, (old ^ ran) & _MASK64)
+        else:  # pragma: no cover - single-node runs never take this path
+            from repro.rma import rget
+
+            val = rget(dest).wait()
+            rput((val ^ ran) & _MASK64, dest).wait()
+
+
+def _run_rma_promise(ctx, cfg, bases, per_rank, stream):
+    """Pure RMA, promise-tracked: batched get / xor / batched put."""
+    scratch = new_array("u64", cfg.batch)
+    sview = ctx.segment.view_array(scratch.offset, scratch.ts, cfg.batch)
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        targets = []
+        p = Promise()
+        for i, ran in enumerate(chunk):
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            targets.append(dest)
+            rget_into(dest, scratch + i, 1, operation_cx.as_promise(p))
+        p.finalize().wait()
+        p2 = Promise()
+        for i, ran in enumerate(chunk):
+            ctx.charge(CostAction.CPU_LOAD)
+            val = (int(sview[i]) ^ ran) & _MASK64
+            rput(val, targets[i], operation_cx.as_promise(p2))
+        p2.finalize().wait()
+
+
+def _run_rma_future(ctx, cfg, bases, per_rank, stream):
+    """Pure RMA, future-conjoined (the Figure 1 idiom)."""
+    scratch = new_array("u64", cfg.batch)
+    sview = ctx.segment.view_array(scratch.offset, scratch.ts, cfg.batch)
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        targets = []
+        fut = make_future()
+        for i, ran in enumerate(chunk):
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            targets.append(dest)
+            fut = when_all(fut, rget_into(dest, scratch + i, 1))
+        fut.wait()
+        fut = make_future()
+        for i, ran in enumerate(chunk):
+            ctx.charge(CostAction.CPU_LOAD)
+            val = (int(sview[i]) ^ ran) & _MASK64
+            fut = when_all(fut, rput(val, targets[i]))
+        fut.wait()
+
+
+def _run_amo_promise(ctx, cfg, bases, per_rank, stream):
+    """Remote atomics (bit_xor), promise-tracked per batch."""
+    ad = AtomicDomain({"bit_xor"}, "u64")
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        p = Promise()
+        for ran in chunk:
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            ad.bit_xor(dest, ran, operation_cx.as_promise(p))
+        p.finalize().wait()
+
+
+def _run_amo_future(ctx, cfg, bases, per_rank, stream):
+    """Remote atomics (bit_xor), future-conjoined per batch."""
+    ad = AtomicDomain({"bit_xor"}, "u64")
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        fut = make_future()
+        for ran in chunk:
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            fut = when_all(fut, ad.bit_xor(dest, ran))
+        fut.wait()
+
+
+_VARIANT_BODIES = {
+    "raw": _run_raw,
+    "manual": _run_manual,
+    "rma_promise": _run_rma_promise,
+    "rma_future": _run_rma_future,
+    "amo_promise": _run_amo_promise,
+    "amo_future": _run_amo_future,
+}
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def run_gups(
+    cfg: GupsConfig,
+    *,
+    ranks: int = 16,
+    version: Version = Version.V2021_3_6_EAGER,
+    machine: str = "intel",
+    conduit: str | None = None,
+    flags=None,
+    noise: float = 0.0,
+    noise_seed: int = 0,
+) -> GupsResult:
+    """Run one GUPS configuration and compute the virtual-time GUPS rate.
+
+    The solve time is the maximum across ranks of the barrier-to-barrier
+    update loop (all clocks synchronize at the closing barrier).
+    """
+    n = 1 << cfg.table_log2
+    seg_bytes = max(1 << 16, (n // ranks + cfg.batch + 64) * 8 * 2)
+    res: SpmdResult = spmd_run(
+        lambda: _gups_body(cfg),
+        ranks=ranks,
+        version=version,
+        machine=machine,
+        conduit=conduit,
+        # the world seed only feeds timing jitter; the update streams are
+        # derived from cfg.seed, so noisy samples share one workload
+        seed=cfg.seed + 7919 * noise_seed,
+        segment_bytes=seg_bytes,
+        flags=flags,
+        noise=noise,
+    )
+    solve_ns = max(v[0] for v in res.values)
+    checksum = 0
+    for _, x, _tbl in res.values:
+        checksum ^= x
+    oracle = int(np.bitwise_xor.reduce(oracle_table(cfg, ranks)))
+    total = cfg.updates_per_rank * ranks
+    return GupsResult(
+        config=cfg,
+        ranks=ranks,
+        version=version,
+        machine=machine,
+        total_updates=total,
+        solve_ns=solve_ns,
+        gups=total / solve_ns if solve_ns else float("inf"),
+        checksum=checksum,
+        oracle_checksum=oracle,
+        table=np.concatenate([v[2] for v in res.values]),
+    )

@@ -1,0 +1,16 @@
+"""Remote atomic memory operations (``upcxx::atomic_domain``).
+
+Atomics must go through the runtime and conduit even for on-node targets,
+"to ensure coherency correctness on systems that may offload incoming
+atomic operations using the network hardware" (§II-B) — manual localization
+is *not possible* for them, which is why eager notification is the only way
+to cut their on-node overhead.
+
+Includes the paper's new **non-value fetching** variants (``fetch_*_into``,
+§III-B) that write the fetched value to memory, making the notification
+value-less and thus eligible for the zero-allocation ready-future path.
+"""
+
+from repro.atomics.domain import AtomicDomain, AMO_OPS
+
+__all__ = ["AtomicDomain", "AMO_OPS"]

@@ -1,0 +1,40 @@
+"""Benchmark harness: experiment grids over {version × machine × variant}
+and paper-style text reports for every figure.
+
+* :mod:`repro.bench.harness` — runners for the microbenchmarks (Figs 2–4),
+  GUPS (Figs 5–7), graph matching (Fig 8), and the off-node check (§IV-A);
+* :mod:`repro.bench.report` — fixed-width tables mirroring the figures'
+  series, with the paper's target bands alongside measured values.
+"""
+
+from repro.bench.harness import (
+    MICRO_OPS,
+    MicroResult,
+    gups_grid,
+    matching_grid,
+    micro_grid,
+    offnode_grid,
+    run_micro,
+)
+from repro.bench.report import (
+    format_gups_figure,
+    format_matching_figure,
+    format_micro_figure,
+    format_offnode_figure,
+    format_table,
+)
+
+__all__ = [
+    "MICRO_OPS",
+    "MicroResult",
+    "run_micro",
+    "micro_grid",
+    "gups_grid",
+    "matching_grid",
+    "offnode_grid",
+    "format_table",
+    "format_micro_figure",
+    "format_gups_figure",
+    "format_matching_figure",
+    "format_offnode_figure",
+]

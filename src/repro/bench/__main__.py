@@ -1,0 +1,176 @@
+"""Command-line figure runner: ``python -m repro.bench <figure> [...]``.
+
+Reproduces any of the paper's figures without pytest:
+
+.. code-block:: console
+
+    python -m repro.bench micro --machine intel
+    python -m repro.bench gups --machine ibm --ranks 16
+    python -m repro.bench matching --ranks 16 --scale 3
+    python -m repro.bench offnode
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import (
+    graph_localities,
+    gups_grid,
+    matching_grid,
+    micro_grid,
+    offnode_grid,
+)
+from repro.bench.report import (
+    format_gups_figure,
+    format_matching_figure,
+    format_micro_bars,
+    format_micro_figure,
+    format_offnode_figure,
+)
+
+_FIG_BY_MACHINE = {"intel": 2, "ibm": 3, "marvell": 4}
+_GUPS_FIG = {"intel": 5, "ibm": 6, "marvell": 7}
+
+
+def cmd_micro(args) -> None:
+    fig = _FIG_BY_MACHINE.get(args.machine, "x")
+    grid = micro_grid(args.machine, n_ops=args.ops, n_samples=args.samples)
+    print(
+        format_micro_figure(
+            f"Figure {fig}: {args.machine} microbenchmarks "
+            "[virtual ns/op]",
+            grid,
+        )
+    )
+    if getattr(args, "bars", False):
+        for op in ("put", "get", "get_nv", "fadd", "fadd_nv"):
+            print()
+            print(format_micro_bars(f"Figure {fig}", grid, op))
+
+
+def cmd_gups(args) -> None:
+    fig = _GUPS_FIG.get(args.machine, "x")
+    grid = gups_grid(
+        args.machine,
+        ranks=args.ranks,
+        table_log2=args.table_log2,
+        updates_per_rank=args.updates,
+        batch=args.batch,
+    )
+    print(
+        format_gups_figure(
+            f"Figure {fig}: GUPS on {args.machine}, {args.ranks} processes "
+            "[giga-updates/sec of virtual time]",
+            grid,
+        )
+    )
+
+
+def cmd_matching(args) -> None:
+    loc = graph_localities(ranks=args.ranks, scale=args.scale)
+    grid = matching_grid(
+        args.machine, ranks=args.ranks, scale=args.scale
+    )
+    print(
+        format_matching_figure(
+            f"Figure 8: graph matching, {args.machine}, {args.ranks} "
+            "processes [virtual ms]",
+            grid,
+            loc,
+        )
+    )
+
+
+def cmd_offnode(args) -> None:
+    grid = offnode_grid(args.machine, n_ops=args.ops)
+    print(
+        format_offnode_figure(
+            f"Off-node RMA latency ({args.machine}, two nodes)", grid
+        )
+    )
+
+
+def cmd_all(args) -> None:
+    for machine in ("intel", "ibm", "marvell"):
+        args.machine = machine
+        cmd_micro(args)
+        print()
+    for machine in ("intel", "ibm", "marvell"):
+        args.machine = machine
+        cmd_gups(args)
+        print()
+    args.machine = "intel"
+    cmd_matching(args)
+    print()
+    cmd_offnode(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's figures from the command line.",
+    )
+    sub = parser.add_subparsers(dest="figure", required=True)
+
+    def common(p, machine_default="intel"):
+        p.add_argument(
+            "--machine",
+            choices=("intel", "ibm", "marvell", "generic"),
+            default=machine_default,
+            help="machine cost profile (paper platform)",
+        )
+
+    p = sub.add_parser("micro", help="Figures 2-4: microbenchmarks")
+    common(p)
+    p.add_argument("--ops", type=int, default=150, help="ops per timing loop")
+    p.add_argument("--samples", type=int, default=3, help="paper samples")
+    p.add_argument(
+        "--bars", action="store_true",
+        help="also render each op as a bar group (like the paper's figures)",
+    )
+    p.set_defaults(fn=cmd_micro)
+
+    p = sub.add_parser("gups", help="Figures 5-7: GUPS")
+    common(p)
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--table-log2", type=int, default=12)
+    p.add_argument("--updates", type=int, default=96)
+    p.add_argument("--batch", type=int, default=32)
+    p.set_defaults(fn=cmd_gups)
+
+    p = sub.add_parser("matching", help="Figure 8: graph matching")
+    common(p)
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--scale", type=int, default=3)
+    p.set_defaults(fn=cmd_matching)
+
+    p = sub.add_parser("offnode", help="off-node RMA check (§IV-A)")
+    common(p)
+    p.add_argument("--ops", type=int, default=40)
+    p.set_defaults(fn=cmd_offnode)
+
+    p = sub.add_parser("all", help="every figure, default parameters")
+    common(p)
+    p.add_argument("--ops", type=int, default=100)
+    p.add_argument("--samples", type=int, default=1)
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--table-log2", type=int, default=12)
+    p.add_argument("--updates", type=int, default=96)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--scale", type=int, default=3)
+    p.set_defaults(fn=cmd_all)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

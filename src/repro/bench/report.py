@@ -1,0 +1,249 @@
+"""Paper-style text reports.
+
+Each ``format_*_figure`` function renders one figure's data as a
+fixed-width table: rows are the figure's x-axis categories, columns the
+three library versions, plus derived speedup columns matching the
+quantities the paper quotes in prose (eager vs. 2021.3.6-defer).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.runtime.config import Version
+
+_V = (Version.V2021_3_0, Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER)
+
+
+def format_table(
+    title: str,
+    headers: list[str],
+    rows: Iterable[list[str]],
+    *,
+    align_left_first: bool = True,
+) -> str:
+    """Render a fixed-width table with a title rule."""
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        out = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_left_first:
+                out.append(cell.ljust(widths[i]))
+            else:
+                out.append(cell.rjust(widths[i]))
+        return "  ".join(out)
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, "=" * len(title), fmt_row(headers), rule]
+    lines.extend(fmt_row(r) for r in rows)
+    return "\n".join(lines)
+
+
+def _pct(new: float, old: float) -> str:
+    """Speedup of new over old as the paper quotes it: (old/new - 1)."""
+    if new <= 0:
+        return "n/a"
+    return f"+{(old / new - 1) * 100:.0f}%"
+
+
+def _ratio(new: float, old: float) -> str:
+    if new <= 0:
+        return "n/a"
+    return f"{old / new:.2f}x"
+
+
+def format_micro_figure(
+    title: str,
+    grid: dict,
+    *,
+    ops: tuple[str, ...] = ("put", "get", "get_nv", "fadd", "fadd_nv"),
+) -> str:
+    """Figures 2–4: ns/op per operation × version + eager-vs-defer
+    speedup."""
+    headers = [
+        "op",
+        "2021.3.0 ns",
+        "3.6-defer ns",
+        "3.6-eager ns",
+        "eager speedup",
+    ]
+    rows = []
+    for op in ops:
+        cells = [op]
+        vals: list[Optional[float]] = []
+        for v in _V:
+            r = grid.get((op, v))
+            vals.append(None if r is None else r.ns_per_op)
+            cells.append("--" if r is None else f"{r.ns_per_op:.1f}")
+        defer_ns, eager_ns = vals[1], vals[2]
+        cells.append(
+            _pct(eager_ns, defer_ns)
+            if defer_ns is not None and eager_ns is not None
+            else "n/a"
+        )
+        rows.append(cells)
+    return format_table(title, headers, rows)
+
+
+def format_gups_figure(title: str, grid: dict) -> str:
+    """Figures 5–7: GUPS per variant × version + eager-vs-defer ratio."""
+    from repro.apps.gups import GUPS_VARIANTS
+
+    headers = [
+        "variant",
+        "2021.3.0 GUPS",
+        "3.6-defer GUPS",
+        "3.6-eager GUPS",
+        "eager/defer",
+    ]
+    rows = []
+    for variant in GUPS_VARIANTS:
+        cells = [variant]
+        vals = []
+        for v in _V:
+            r = grid.get((variant, v))
+            vals.append(None if r is None else r.gups)
+            cells.append("--" if r is None else f"{r.gups * 1e3:.3f}m")
+        if vals[1] and vals[2]:
+            cells.append(f"{vals[2] / vals[1]:.2f}x")
+        else:
+            cells.append("n/a")
+        rows.append(cells)
+    return format_table(title, headers, rows)
+
+
+def format_matching_figure(
+    title: str, grid: dict, localities: Optional[dict] = None
+) -> str:
+    """Figure 8: solve time (virtual ms) per input × version + speedup."""
+    from repro.apps.graphs import GRAPH_NAMES
+
+    headers = [
+        "input",
+        "cross-rank",
+        "2021.3.0 ms",
+        "3.6-defer ms",
+        "3.6-eager ms",
+        "eager speedup",
+    ]
+    rows = []
+    for name in GRAPH_NAMES:
+        cells = [name]
+        if localities and name in localities:
+            cells.append(f"{localities[name]['cross_rank'] * 100:.0f}%")
+        else:
+            cells.append("--")
+        vals = []
+        for v in _V:
+            r = grid.get((name, v))
+            vals.append(None if r is None else r.solve_ns)
+            cells.append("--" if r is None else f"{r.solve_ns / 1e6:.3f}")
+        if vals[1] and vals[2]:
+            cells.append(_pct(vals[2], vals[1]))
+        else:
+            cells.append("n/a")
+        rows.append(cells)
+    return format_table(title, headers, rows)
+
+
+def format_offnode_figure(title: str, grid: dict) -> str:
+    """§IV-A off-node check: defer vs eager builds must be ~identical."""
+    headers = ["op", "3.6-defer ns", "3.6-eager ns", "delta"]
+    rows = []
+    ops = sorted({op for op, _ in grid})
+    for op in ops:
+        d = grid[(op, Version.V2021_3_6_DEFER)]
+        e = grid[(op, Version.V2021_3_6_EAGER)]
+        rows.append(
+            [op, f"{d:.1f}", f"{e:.1f}", f"{(e - d) / d * 100:+.2f}%"]
+        )
+    return format_table(title, headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# CSV export (plot-ready series)
+# ---------------------------------------------------------------------------
+
+
+def export_micro_csv(grid: dict) -> str:
+    """Figures 2–4 as CSV: op,version,ns_per_op (missing cells omitted)."""
+    lines = ["op,version,ns_per_op"]
+    for (op, version), r in sorted(
+        grid.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        if r is not None:
+            lines.append(f"{op},{version.value},{r.ns_per_op:.3f}")
+    return "\n".join(lines) + "\n"
+
+
+def export_gups_csv(grid: dict) -> str:
+    """Figures 5–7 as CSV: variant,version,gups,solve_ns."""
+    lines = ["variant,version,gups,solve_ns"]
+    for (variant, version), r in sorted(
+        grid.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        lines.append(
+            f"{variant},{version.value},{r.gups:.9f},{r.solve_ns:.1f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def export_matching_csv(grid: dict, localities: Optional[dict] = None) -> str:
+    """Figure 8 as CSV: input,version,solve_ns,cross_rank."""
+    lines = ["input,version,solve_ns,cross_rank"]
+    for (name, version), r in sorted(
+        grid.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        cross = ""
+        if localities and name in localities:
+            cross = f"{localities[name]['cross_rank']:.4f}"
+        lines.append(f"{name},{version.value},{r.solve_ns:.1f},{cross}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# ASCII bar charts (the figures as the paper draws them)
+# ---------------------------------------------------------------------------
+
+
+def format_bars(
+    title: str,
+    series: "list[tuple[str, float]]",
+    *,
+    unit: str = "",
+    width: int = 46,
+) -> str:
+    """Render labeled horizontal bars scaled to the largest value.
+
+    ``series`` is ``[(label, value), ...]``; a None value renders as the
+    paper's missing bar (``--``, e.g. the non-existent 2021.3.0 non-value
+    atomic).
+    """
+    label_w = max((len(lbl) for lbl, _ in series), default=0)
+    vals = [v for _, v in series if v is not None]
+    peak = max(vals) if vals else 1.0
+    lines = [title, "=" * len(title)]
+    for label, value in series:
+        if value is None:
+            lines.append(f"{label.ljust(label_w)}  --")
+            continue
+        n = int(round(width * value / peak)) if peak else 0
+        bar = "#" * max(n, 1 if value > 0 else 0)
+        lines.append(
+            f"{label.ljust(label_w)}  {bar} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_micro_bars(title: str, grid: dict, op: str) -> str:
+    """One microbenchmark operation as a three-bar group (Figs 2-4)."""
+    series = []
+    for v in _V:
+        r = grid.get((op, v))
+        series.append((v.value, None if r is None else r.ns_per_op))
+    return format_bars(f"{title}: {op}", series, unit=" ns")

@@ -1,0 +1,26 @@
+"""Asynchronous collectives: broadcast, reductions, asynchronous barrier.
+
+UPC++ provides future-returning collectives (``upcxx::broadcast``,
+``upcxx::reduce_one`` / ``reduce_all``, ``upcxx::barrier_async``); the
+paper's graph-matching application relies on collectives for its data
+initialization.  This package implements them over the active-message
+substrate with the same call-order-based matching discipline as real
+collectives (every rank must invoke the same collectives in the same
+order).
+"""
+
+from repro.coll.collectives import (
+    REDUCTION_OPS,
+    barrier_async,
+    broadcast,
+    reduce_all,
+    reduce_one,
+)
+
+__all__ = [
+    "broadcast",
+    "reduce_one",
+    "reduce_all",
+    "barrier_async",
+    "REDUCTION_OPS",
+]

@@ -1,0 +1,275 @@
+"""Future-returning collectives over active messages.
+
+Matching discipline: collectives are matched by *call order per kind of
+exchange* — every rank's i-th collective call must be the same collective
+with compatible arguments (the standard SPMD contract; violations surface
+as mismatched-root errors or hangs, and a best-effort check raises on
+root mismatches).
+
+Implementation notes
+--------------------
+Each world owns a :class:`CollectiveEngine` holding per-sequence state.
+Communication is flat (root ↔ everyone) over AMs: an O(P) pattern rather
+than a tree — adequate for the single-node process counts of the paper's
+experiments, and the cost model charges per-message work so the virtual
+cost scales correctly with P either way.
+
+* ``broadcast``: non-root ranks get a future that readies when the root's
+  value AM arrives; the root's own future is ready immediately (its value
+  contribution is synchronous).
+* ``reduce_one``: everyone sends its contribution to the root; the root's
+  future readies after all P contributions; non-root futures ready at
+  send time (their part is done — matching ``upcxx::reduce_one`` where
+  only the root receives the value).
+* ``reduce_all``: ``reduce_one`` at rank 0 followed by an internal
+  broadcast of the result; every rank's future carries the reduced value.
+* ``barrier_async``: a value-less ``reduce_all``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.core.cell import PromiseCell, alloc_cell
+from repro.core.future import Future
+from repro.errors import UpcxxError
+from repro.runtime.context import current_ctx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+#: Named reduction operators (callables are also accepted).
+REDUCTION_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "add": operator.add,
+    "mul": operator.mul,
+    "min": min,
+    "max": max,
+    "bit_and": operator.and_,
+    "bit_or": operator.or_,
+    "bit_xor": operator.xor,
+}
+
+
+def _resolve_op(op) -> Callable[[Any, Any], Any]:
+    if callable(op):
+        return op
+    try:
+        return REDUCTION_OPS[op]
+    except KeyError:
+        raise UpcxxError(
+            f"unknown reduction op {op!r}; known: {sorted(REDUCTION_OPS)}"
+        ) from None
+
+
+class _SeqState:
+    """Per-(kind, seq) rendezvous state."""
+
+    __slots__ = ("root", "value", "arrived", "contribs", "cells", "done")
+
+    def __init__(self) -> None:
+        self.root: Optional[int] = None
+        self.value: Any = None
+        self.arrived = False  # broadcast payload arrived
+        self.contribs: list = []  # reduction contributions
+        self.cells: dict[int, PromiseCell] = {}  # rank -> waiting cell
+        self.done = False
+
+
+class CollectiveEngine:
+    """World-level matcher for collective calls."""
+
+    def __init__(self, world_size: int):
+        self.world_size = world_size
+        self._state: dict[tuple[str, int], _SeqState] = {}
+
+    def seq_for(self, ctx: "RankContext", kind: str) -> int:
+        key = f"_coll_seq_{kind}"
+        n = getattr(ctx, key, 0)
+        setattr(ctx, key, n + 1)
+        return n
+
+    def state(self, kind: str, seq: int) -> _SeqState:
+        return self._state.setdefault((kind, seq), _SeqState())
+
+    def check_root(self, st: _SeqState, root: int, kind: str) -> None:
+        if st.root is None:
+            st.root = root
+        elif st.root != root:
+            raise UpcxxError(
+                f"collective mismatch: {kind} invoked with root {root} on "
+                f"one rank but {st.root} on another"
+            )
+
+
+def _engine(ctx: "RankContext") -> CollectiveEngine:
+    world = ctx.world
+    eng = getattr(world, "_coll_engine", None)
+    if eng is None:
+        eng = CollectiveEngine(world.size)
+        world._coll_engine = eng  # type: ignore[attr-defined]
+    return eng
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+
+def broadcast(value: Any, root: int) -> Future:
+    """``future<T>`` of ``root``'s ``value`` on every rank.
+
+    ``value`` is ignored on non-root ranks (as in ``upcxx::broadcast``'s
+    one-argument-per-rank form).
+    """
+    ctx = current_ctx()
+    if not (0 <= root < ctx.world_size):
+        raise UpcxxError(f"broadcast root {root} out of range")
+    eng = _engine(ctx)
+    seq = eng.seq_for(ctx, "bcast")
+    st = eng.state("bcast", seq)
+    eng.check_root(st, root, "broadcast")
+
+    if ctx.rank == root:
+        st.value = value
+        st.arrived = True
+        # ship the payload to every other rank
+        from repro.rpc.serialization import payload_nbytes
+
+        nbytes = payload_nbytes(value)
+        for r in range(ctx.world_size):
+            if r == root:
+                continue
+            ctx.conduit.send_am(
+                ctx,
+                r,
+                _bcast_arrive,
+                (seq, value),
+                nbytes=nbytes,
+                label="bcast",
+            )
+        # wake anything parked locally (a non-root can't park at the root,
+        # but symmetric handling keeps the engine simple)
+        _drain_cells(st)
+        from repro.core.cell import ready_cell
+
+        return Future(ready_cell(ctx, (value,)))
+
+    if st.arrived:
+        from repro.core.cell import ready_cell
+
+        return Future(ready_cell(ctx, (st.value,)))
+    cell = alloc_cell(ctx, nvalues=1, deps=1)
+    st.cells[ctx.rank] = cell
+    return Future(cell)
+
+
+def _bcast_arrive(tctx, seq: int, value: Any) -> None:
+    eng = _engine(tctx)
+    st = eng.state("bcast", seq)
+    st.value = value
+    st.arrived = True
+    cell = st.cells.pop(tctx.rank, None)
+    if cell is not None:
+        cell.values = (value,)
+        cell.fulfill()
+
+
+def _drain_cells(st: _SeqState) -> None:
+    for rank, cell in list(st.cells.items()):
+        cell.values = (st.value,)
+        cell.fulfill()
+        del st.cells[rank]
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def reduce_one(value: Any, op, root: int) -> Future:
+    """Reduce every rank's ``value`` with ``op`` at ``root``.
+
+    The root's future carries the reduced value; other ranks get a
+    value-less completion future (their contribution has been sent).
+    """
+    ctx = current_ctx()
+    if not (0 <= root < ctx.world_size):
+        raise UpcxxError(f"reduce root {root} out of range")
+    fn = _resolve_op(op)
+    eng = _engine(ctx)
+    seq = eng.seq_for(ctx, "reduce")
+    st = eng.state("reduce", seq)
+    eng.check_root(st, root, "reduce_one")
+
+    if ctx.rank == root:
+        st.contribs.append(value)
+        if len(st.contribs) == ctx.world_size:
+            return _finish_reduce(ctx, st, fn)
+        cell = alloc_cell(ctx, nvalues=1, deps=1)
+        st.cells[root] = cell
+        st.value = fn  # stash the op for the last arrival
+        return Future(cell)
+
+    from repro.rpc.serialization import payload_nbytes
+
+    ctx.conduit.send_am(
+        ctx,
+        root,
+        _reduce_arrive,
+        (seq, value),
+        nbytes=payload_nbytes(value),
+        label="reduce",
+    )
+    from repro.core.cell import ready_unit_cell
+
+    return Future(ready_unit_cell(ctx))
+
+
+def _finish_reduce(ctx, st: _SeqState, fn) -> Future:
+    acc = st.contribs[0]
+    for v in st.contribs[1:]:
+        acc = fn(acc, v)
+    st.done = True
+    st.contribs = [acc]
+    from repro.core.cell import ready_cell
+
+    return Future(ready_cell(ctx, (acc,)))
+
+
+def _reduce_arrive(tctx, seq: int, value: Any) -> None:
+    eng = _engine(tctx)
+    st = eng.state("reduce", seq)
+    st.contribs.append(value)
+    if len(st.contribs) == tctx.world_size:
+        fn = st.value if callable(st.value) else operator.add
+        acc = st.contribs[0]
+        for v in st.contribs[1:]:
+            acc = fn(acc, v)
+        st.done = True
+        st.contribs = [acc]
+        cell = st.cells.pop(tctx.rank, None)
+        if cell is not None:
+            cell.values = (acc,)
+            cell.fulfill()
+
+
+def reduce_all(value: Any, op) -> Future:
+    """Reduce every rank's ``value``; the result lands on every rank.
+
+    Implemented as ``reduce_one`` at rank 0 chained into an internal
+    broadcast, like typical flat all-reduce implementations.
+    """
+    fn = _resolve_op(op)
+    root_fut = reduce_one(value, fn, 0)
+    ctx = current_ctx()
+    if ctx.rank == 0:
+        return root_fut.then(lambda acc: broadcast(acc, 0))
+    # non-root: the reduce_one future is value-less and ready; the result
+    # arrives via the broadcast leg
+    return root_fut.then(lambda: broadcast(None, 0))
+
+
+def barrier_async() -> Future:
+    """A future that readies once every rank has called it (value-less)."""
+    return reduce_all(0, "add").then(lambda _s: None)

@@ -1,0 +1,49 @@
+"""The paper's contribution: futures, promises, ``when_all`` conjoining, and
+the completions mechanism with eager/deferred notification.
+
+Module map (Section III of the paper):
+
+* :mod:`repro.core.cell` — the internal promise cell backing every future,
+  and the shared pre-allocated ready cell for value-less ``future<>``;
+* :mod:`repro.core.future` — the consumer side: ``wait``/``then``/``result``;
+* :mod:`repro.core.promise` — the producer side: counter-based tracking of
+  many operations with a single allocation;
+* :mod:`repro.core.when_all` — conjoining, with the §III-C short-cuts;
+* :mod:`repro.core.completions` — the completions DSL (``operation_cx``,
+  ``source_cx``, ``remote_cx``) including the new ``as_eager_*`` /
+  ``as_defer_*`` factories, and the dispatcher used by every communication
+  operation to deliver eager or deferred notifications.
+"""
+
+from repro.core.cell import PromiseCell, alloc_cell, ready_cell, ready_unit_cell
+from repro.core.future import Future, make_future, to_future
+from repro.core.promise import Promise
+from repro.core.when_all import when_all
+from repro.core.events import Event
+from repro.core.completions import (
+    Completions,
+    CompletionRequest,
+    CxDispatcher,
+    operation_cx,
+    remote_cx,
+    source_cx,
+)
+
+__all__ = [
+    "PromiseCell",
+    "alloc_cell",
+    "ready_cell",
+    "ready_unit_cell",
+    "Future",
+    "make_future",
+    "to_future",
+    "Promise",
+    "when_all",
+    "Event",
+    "Completions",
+    "CompletionRequest",
+    "CxDispatcher",
+    "operation_cx",
+    "source_cx",
+    "remote_cx",
+]

@@ -1,0 +1,171 @@
+"""The internal promise cell: the heap object behind every future/promise.
+
+In UPC++ each non-ready future corresponds to a dynamically allocated
+internal promise cell (Section II-A).  The 2021.3.0 path allocates one for
+*every* asynchronous operation, even those that complete synchronously via
+shared-memory bypass; eliminating exactly this allocation (plus the
+progress-queue round trip) is what eager notification buys.
+
+Cells are created through the factory functions below, never directly, so
+that heap-cost accounting is centralized:
+
+* :func:`alloc_cell` — a fresh non-ready cell; charges one promise-cell
+  heap allocation (and its eventual free, amortized at allocation time);
+* :func:`ready_cell` — a fresh *ready* cell holding values; same charge
+  (the value must live somewhere — §III-B explains why this allocation
+  cannot be elided for value-producing operations);
+* :func:`ready_unit_cell` — a ready value-less cell.  With the 2021.3.6
+  ``ready_future_shared_cell`` optimization this returns the world's shared
+  pre-allocated cell at **zero** heap cost; on 2021.3.0 it allocates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import FutureError, PromiseError
+from repro.sim.costmodel import CostAction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+
+class PromiseCell:
+    """State machine shared by futures (consumers) and promises (producers).
+
+    A cell is *ready* once its dependency counter reaches zero; promises
+    start the counter at 1 (the master dependency cleared by
+    ``finalize()``), plain operation cells at 1 (cleared when the operation
+    completes), and conjoined cells at the number of non-ready inputs.
+    """
+
+    __slots__ = ("nvalues", "values", "deps", "finalized", "callbacks", "shared")
+
+    def __init__(self, nvalues: int = 0, deps: int = 1, shared: bool = False):
+        if deps < 0:
+            raise PromiseError("dependency count cannot be negative")
+        self.nvalues = nvalues
+        self.values: Optional[tuple] = () if nvalues == 0 else None
+        self.deps = deps
+        self.finalized = deps == 0
+        self.callbacks: Optional[list[Callable[[tuple], None]]] = None
+        self.shared = shared
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self.deps == 0 and (self.nvalues == 0 or self.values is not None)
+
+    def result_tuple(self) -> tuple:
+        if not self.ready:
+            raise FutureError("result requested from a non-ready future")
+        return self.values if self.values is not None else ()
+
+    # -- producer side ---------------------------------------------------------
+
+    def add_deps(self, n: int) -> None:
+        if self.ready:
+            raise PromiseError("cannot add dependencies to a ready cell")
+        if self.shared:
+            raise PromiseError("the shared ready cell is immutable")
+        self.deps += n
+
+    def set_values(self, values: tuple) -> None:
+        """Store the produced values (does not decrement the counter)."""
+        if self.shared:
+            raise PromiseError("the shared ready cell is immutable")
+        if len(values) != self.nvalues:
+            raise PromiseError(
+                f"cell expects {self.nvalues} values, got {len(values)}"
+            )
+        if self.nvalues and self.values is not None:
+            raise PromiseError("cell values already set")
+        self.values = values
+
+    def fulfill(self, n: int = 1) -> bool:
+        """Clear ``n`` dependencies; fire callbacks if the cell became
+        ready.  Returns True exactly when this call made it ready."""
+        if self.shared:
+            raise PromiseError("the shared ready cell is immutable")
+        if n < 0:
+            raise PromiseError("cannot fulfill a negative count")
+        if n > self.deps:
+            raise PromiseError(
+                f"over-fulfillment: {n} > outstanding {self.deps}"
+            )
+        if n == 0:
+            return False
+        self.deps -= n
+        if self.deps == 0:
+            if self.nvalues and self.values is None:
+                raise PromiseError(
+                    "all dependencies cleared but values never supplied"
+                )
+            self._fire()
+            return True
+        return False
+
+    def _fire(self) -> None:
+        cbs, self.callbacks = self.callbacks, None
+        if cbs:
+            vals = self.result_tuple()
+            for cb in cbs:
+                cb(vals)
+
+    # -- consumer side -----------------------------------------------------------
+
+    def add_callback(self, cb: Callable[[tuple], None]) -> None:
+        """Attach ``cb`` to run (synchronously) when the cell becomes ready.
+        If already ready the callback runs immediately."""
+        if self.ready:
+            cb(self.result_tuple())
+            return
+        if self.callbacks is None:
+            self.callbacks = []
+        self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ready" if self.ready else f"deps={self.deps}"
+        return f"<PromiseCell nvalues={self.nvalues} {state}>"
+
+
+# ---------------------------------------------------------------------------
+# allocation factories (all heap accounting happens here)
+# ---------------------------------------------------------------------------
+
+
+def _charge_alloc(ctx: "RankContext") -> None:
+    # The eventual free is charged at allocation time (amortized); totals
+    # are identical and tests can still count allocations exactly.
+    ctx.charge(CostAction.HEAP_ALLOC_PROMISE_CELL)
+    ctx.charge(CostAction.HEAP_FREE)
+
+
+def alloc_cell(ctx: "RankContext", nvalues: int = 0, deps: int = 1) -> PromiseCell:
+    """A fresh non-ready cell (one heap allocation)."""
+    _charge_alloc(ctx)
+    return PromiseCell(nvalues=nvalues, deps=deps)
+
+
+def ready_cell(ctx: "RankContext", values: tuple) -> PromiseCell:
+    """A fresh ready cell holding ``values`` (one heap allocation —
+    unavoidable for value-producing results, §III-B)."""
+    _charge_alloc(ctx)
+    cell = PromiseCell(nvalues=len(values), deps=0)
+    if values:
+        cell.values = values
+    return cell
+
+
+def ready_unit_cell(ctx: "RankContext") -> PromiseCell:
+    """A ready value-less cell.
+
+    Under the ``ready_future_shared_cell`` optimization this is the world's
+    shared pre-allocated cell (zero cost); otherwise it allocates like any
+    other cell (2021.3.0 behaviour).
+    """
+    if ctx.flags.ready_future_shared_cell:
+        return ctx.world.shared_ready_cell
+    _charge_alloc(ctx)
+    return PromiseCell(nvalues=0, deps=0)

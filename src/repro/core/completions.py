@@ -1,0 +1,337 @@
+"""The completions mechanism, including eager/deferred notification.
+
+This module is the paper's Section III-A in executable form.
+
+**Requesting completions.**  ``operation_cx`` / ``source_cx`` / ``remote_cx``
+are factory namespaces whose methods return :class:`Completions` objects;
+requests compose with ``|`` and are passed to communication operations::
+
+    rput(value, gptr,
+         source_cx.as_future() | operation_cx.as_promise(prom))
+
+``as_future()``/``as_promise()`` use the build's default notification
+discipline (eager on 2021.3.6-eager — the proposed default —, deferred
+otherwise, mirroring the ``UPCXX_DEFER_COMPLETION`` macro).  The explicit
+``as_eager_*``/``as_defer_*`` factories (new in 2021.3.6) force one or the
+other; *eager* is permissive ("allow, do not guarantee"), *defer* is a
+guarantee of the legacy behaviour.
+
+**Delivering completions.**  Operations create a :class:`CxDispatcher` and
+report each event either
+
+* synchronously completed during initiation (:meth:`CxDispatcher.notify_sync`)
+  — the shared-memory-bypass case, where eager requests take the fast path:
+  a ready future (no allocation for value-less results on 2021.3.6) or a
+  wholly untouched promise; deferred requests allocate a cell / register on
+  the promise and round-trip through the progress queue; or
+* asynchronous (:meth:`CxDispatcher.pend`) — the off-node case: state is
+  allocated up front and the returned :class:`PendingEvent` is completed
+  later from inside the progress engine, which is deferred notification by
+  construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.cell import alloc_cell, ready_cell, ready_unit_cell
+from repro.core.events import Event
+from repro.core.future import Future
+from repro.core.promise import Promise
+from repro.errors import CompletionError
+from repro.sim.costmodel import CostAction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+_FUTURE = "future"
+_PROMISE = "promise"
+_LPC = "lpc"
+_RPC = "rpc"
+
+_DEFAULT = "default"
+_EAGER = "eager"
+_DEFER = "defer"
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """One requested notification: (event, mechanism, eagerness, payload)."""
+
+    event: Event
+    kind: str  # future | promise | lpc | rpc
+    eagerness: str = _DEFAULT  # default | eager | defer
+    promise: Optional[Promise] = None
+    fn: Optional[Callable] = None
+    args: tuple = ()
+
+    def describe(self) -> str:
+        e = "" if self.eagerness == _DEFAULT else f"_{self.eagerness}"
+        return f"{self.event.value}_cx::as{e}_{self.kind}"
+
+
+@dataclass(frozen=True)
+class Completions:
+    """An ordered composition of completion requests."""
+
+    requests: tuple[CompletionRequest, ...] = ()
+
+    def __or__(self, other: "Completions") -> "Completions":
+        if not isinstance(other, Completions):
+            return NotImplemented
+        return Completions(self.requests + other.requests)
+
+    def by_event(self, event: Event) -> list[CompletionRequest]:
+        return [r for r in self.requests if r.event is event]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class _CxFactory:
+    """Factory namespace bound to one event kind (``operation_cx`` etc.)."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    def _one(self, **kw) -> Completions:
+        return Completions((CompletionRequest(event=self._event, **kw),))
+
+    # -- futures -------------------------------------------------------------
+
+    def as_future(self) -> Completions:
+        """Notify via a future using the build's default discipline."""
+        return self._one(kind=_FUTURE)
+
+    def as_eager_future(self) -> Completions:
+        """Permit eager notification (2021.3.6 factories)."""
+        return self._one(kind=_FUTURE, eagerness=_EAGER)
+
+    def as_defer_future(self) -> Completions:
+        """Guarantee deferred (legacy) notification."""
+        return self._one(kind=_FUTURE, eagerness=_DEFER)
+
+    # -- promises ----------------------------------------------------------------
+
+    def as_promise(self, p: Promise) -> Completions:
+        """Notify by fulfilling ``p``, default discipline."""
+        return self._one(kind=_PROMISE, promise=p)
+
+    def as_eager_promise(self, p: Promise) -> Completions:
+        return self._one(kind=_PROMISE, promise=p, eagerness=_EAGER)
+
+    def as_defer_promise(self, p: Promise) -> Completions:
+        return self._one(kind=_PROMISE, promise=p, eagerness=_DEFER)
+
+    # -- procedure calls ---------------------------------------------------------
+
+    def as_lpc(self, fn: Callable, *args) -> Completions:
+        """Run ``fn(*args)`` on the initiator inside a progress call."""
+        if self._event is Event.REMOTE:
+            raise CompletionError("remote completion cannot use an LPC")
+        return self._one(kind=_LPC, fn=fn, args=args)
+
+    def as_rpc(self, fn: Callable, *args) -> Completions:
+        """Run ``fn(*args)`` on the *target* after data arrival (puts only)."""
+        if self._event is not Event.REMOTE:
+            raise CompletionError(
+                "as_rpc is only available for remote completion (remote_cx)"
+            )
+        return self._one(kind=_RPC, fn=fn, args=args)
+
+
+#: Source-completion factory namespace (``source_cx`` in UPC++).
+source_cx = _CxFactory(Event.SOURCE)
+#: Remote-completion factory namespace (``remote_cx``).
+remote_cx = _CxFactory(Event.REMOTE)
+#: Operation-completion factory namespace (``operation_cx``).
+operation_cx = _CxFactory(Event.OPERATION)
+
+
+@dataclass
+class PendingEvent:
+    """Handle for completing an asynchronous (off-node) event later.
+
+    Created by :meth:`CxDispatcher.pend` at initiation; :meth:`complete`
+    must be invoked from progress-engine context when the underlying
+    operation finishes.
+    """
+
+    ctx: "RankContext"
+    requests: list[CompletionRequest]
+    cells: list = field(default_factory=list)  # parallel to future requests
+
+    def complete(self, values: tuple = ()) -> None:
+        cell_iter = iter(self.cells)
+        for req in self.requests:
+            if req.kind == _FUTURE:
+                cell = next(cell_iter)
+                if cell.nvalues:
+                    cell.values = values
+                cell.fulfill()
+            elif req.kind == _PROMISE:
+                if req.promise.cell.nvalues:
+                    req.promise.fulfill_result(*values)
+                else:
+                    req.promise.fulfill_anonymous(1)
+            elif req.kind == _LPC:
+                self.ctx.progress_engine.enqueue_lpc(
+                    lambda r=req: r.fn(*r.args)
+                )
+
+
+class CxDispatcher:
+    """Per-operation completion handling.
+
+    Parameters
+    ----------
+    ctx:
+        The initiating rank's context.
+    comps:
+        The user's :class:`Completions` (or an op-supplied default).
+    supported:
+        Events this operation supports (e.g. gets have no remote event).
+    value_event:
+        The event that carries the operation's produced values (``None``
+        for value-less operations); ``nvalues`` is the arity.
+    """
+
+    def __init__(
+        self,
+        ctx: "RankContext",
+        comps: Completions,
+        *,
+        supported: frozenset[Event] | set[Event],
+        value_event: Optional[Event] = None,
+        nvalues: int = 0,
+        op_name: str = "operation",
+    ):
+        self.ctx = ctx
+        self.comps = comps
+        self.value_event = value_event
+        self.nvalues = nvalues
+        self._futures: list[Future] = []
+        ctx.charge(CostAction.COMPLETION_PROCESS)
+        flags = ctx.flags
+        for req in comps.requests:
+            if req.event not in supported:
+                raise CompletionError(
+                    f"{op_name} does not support {req.event.value} completion"
+                )
+            if (
+                req.eagerness != _DEFAULT
+                and not flags.eager_factories_available
+            ):
+                raise CompletionError(
+                    f"{req.describe()} requires the 2021.3.6 completion "
+                    f"factories (build is {ctx.config.version.value})"
+                )
+
+    # -- policy --------------------------------------------------------------
+
+    def _eager_allowed(self, req: CompletionRequest) -> bool:
+        if req.eagerness == _EAGER:
+            return True
+        if req.eagerness == _DEFER:
+            return False
+        return self.ctx.flags.eager_notification
+
+    def _values_for(self, event: Event, values: tuple) -> tuple:
+        return values if event is self.value_event else ()
+
+    def any_deferred(self) -> bool:
+        """Whether any requested notification will take the deferred path
+        even for a synchronously completing operation."""
+        return any(
+            req.kind in (_FUTURE, _PROMISE) and not self._eager_allowed(req)
+            for req in self.comps.requests
+        )
+
+    # -- synchronous completion (the shared-memory-bypass case) ---------------
+
+    def notify_sync(self, event: Event, values: tuple = ()) -> None:
+        """Deliver ``event``, which completed synchronously during
+        initiation, to every matching request.
+
+        Eager requests are notified immediately: futures come back already
+        ready (value-less ones via the shared cell — zero allocations) and
+        promises are left entirely untouched.  Deferred requests take the
+        legacy path: allocate/register now, notify from a later progress
+        call.
+        """
+        ctx = self.ctx
+        vals = self._values_for(event, values)
+        for req in self.comps.by_event(event):
+            if req.kind == _FUTURE:
+                if self._eager_allowed(req):
+                    if vals:
+                        self._futures.append(Future(ready_cell(ctx, vals)))
+                    else:
+                        self._futures.append(Future(ready_unit_cell(ctx)))
+                else:
+                    cell = alloc_cell(ctx, nvalues=len(vals), deps=1)
+
+                    def ready_it(cell=cell, vals=vals):
+                        if cell.nvalues:
+                            cell.values = vals
+                        cell.fulfill()
+
+                    ctx.progress_engine.enqueue_deferred(ready_it)
+                    self._futures.append(Future(cell))
+            elif req.kind == _PROMISE:
+                if self._eager_allowed(req):
+                    pass  # elide all modification of the promise
+                else:
+                    req.promise.require_anonymous(1)
+
+                    def fulfill_it(req=req, vals=vals):
+                        if req.promise.cell.nvalues:
+                            req.promise.fulfill_result(*vals)
+                        else:
+                            req.promise.fulfill_anonymous(1)
+
+                    ctx.progress_engine.enqueue_deferred(fulfill_it)
+            elif req.kind == _LPC:
+                ctx.progress_engine.enqueue_lpc(
+                    lambda req=req: req.fn(*req.args)
+                )
+            # _RPC requests are shipped by the operation itself
+
+    # -- asynchronous completion (the off-node case) -----------------------------
+
+    def pend(self, event: Event) -> PendingEvent:
+        """Prepare deferred delivery for an event that will complete later
+        (off-node transfer).  Futures/promise state is allocated up front;
+        the returned handle's ``complete()`` fires from progress context."""
+        ctx = self.ctx
+        reqs = self.comps.by_event(event)
+        pending = PendingEvent(ctx=ctx, requests=reqs)
+        arity = self.nvalues if event is self.value_event else 0
+        for req in reqs:
+            if req.kind == _FUTURE:
+                cell = alloc_cell(ctx, nvalues=arity, deps=1)
+                pending.cells.append(cell)
+                self._futures.append(Future(cell))
+            elif req.kind == _PROMISE:
+                req.promise.require_anonymous(1)
+        return pending
+
+    # -- rpc access for put implementations ----------------------------------------
+
+    def rpc_requests(self) -> list[CompletionRequest]:
+        return [r for r in self.comps.requests if r.kind == _RPC]
+
+    # -- operation return value ---------------------------------------------------
+
+    def result(self):
+        """What the operation returns: None / a future / a tuple of
+        futures, matching the number of future-kind requests (in
+        composition order)."""
+        if not self._futures:
+            return None
+        if len(self._futures) == 1:
+            return self._futures[0]
+        return tuple(self._futures)

@@ -1,0 +1,22 @@
+"""Completion event kinds (Section II-A).
+
+* ``SOURCE`` — for operations with a source buffer: the buffer may be
+  reused/reclaimed by the initiator;
+* ``REMOTE`` — for RMA put: runs on the target process after data arrival
+  (notification is an RPC);
+* ``OPERATION`` — the whole operation is complete from the initiator's
+  perspective.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Event(enum.Enum):
+    SOURCE = "source"
+    REMOTE = "remote"
+    OPERATION = "operation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

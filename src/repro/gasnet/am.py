@@ -1,0 +1,49 @@
+"""Active messages: the asynchronous transport under every conduit.
+
+An :class:`ActiveMessage` is a handler plus arguments injected into a
+target rank's inbox with an arrival timestamp; the target executes it from
+inside its progress engine.  Delivery advances the receiver's virtual clock
+to at least the arrival time (conservative causality: a message cannot be
+observed before it arrives).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ActiveMessage:
+    """One in-flight active message."""
+
+    src_rank: int
+    dst_rank: int
+    handler: Callable  # invoked as handler(dst_ctx, *args)
+    args: tuple
+    nbytes: int
+    arrival_ns: float
+    label: str = "am"
+
+
+class AmInbox:
+    """FIFO inbox of one rank (arrival order == injection order; the
+    simulated transport is ordered, like GASNet's default)."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: deque[ActiveMessage] = deque()
+
+    def push(self, msg: ActiveMessage) -> None:
+        self._queue.append(msg)
+
+    def pop(self) -> ActiveMessage:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

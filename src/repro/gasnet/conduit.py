@@ -1,0 +1,145 @@
+"""Conduits: the transport layer beneath the runtime.
+
+Three conduits mirror the paper's setups (§IV):
+
+* **smp** — single-node only, used on Intel.  Every pointer is directly
+  addressable, which is what lets 2021.3.6 turn ``is_local`` into a
+  ``constexpr`` there.
+* **udp** — used on IBM and Marvell "for its better integration with the
+  native job launcher; process-shared memory ensures all communication
+  takes place via shared memory".  On-node traffic uses PSHM bypass; only
+  off-node traffic would touch the (slow) UDP path.
+* **mpi** — used for the graph-matching application "to trivially satisfy
+  the application's hybrid reliance on MPI collectives".  Same PSHM
+  structure, different off-node latency.
+
+A conduit owns the per-rank active-message inboxes and the node topology.
+The data plane of on-node operations never passes through here — the RMA /
+atomics layers use shared-memory bypass after a reachability check — but
+every asynchronous operation (off-node RMA/AMO, every RPC) is an AM pair
+routed through this layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import UpcxxError
+from repro.gasnet.am import ActiveMessage, AmInbox
+from repro.sim.costmodel import CostAction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+    from repro.runtime.runtime import World
+
+#: On-node AM one-way latency (shared-memory queues), ns.  Small and
+#: conduit-independent: PSHM AMs never touch the network.
+_PSHM_AM_LATENCY_NS = 250.0
+
+#: Off-node latency multipliers relative to the machine's base network
+#: latency (UDP sockets are far slower than native RDMA; MPI in between).
+_OFFNODE_FACTOR = {"smp": None, "udp": 20.0, "mpi": 2.0, "ibv": 1.0}
+
+CONDUIT_NAMES = ("smp", "udp", "mpi", "ibv")
+
+
+class Conduit:
+    """Transport instance shared by all ranks of a world."""
+
+    def __init__(self, name: str, world: "World"):
+        if name not in CONDUIT_NAMES:
+            raise UpcxxError(
+                f"unknown conduit {name!r}; known: {CONDUIT_NAMES}"
+            )
+        self.name = name
+        self.world = world
+        self._inboxes = [AmInbox() for _ in range(world.size)]
+        if name == "smp" and world.n_nodes != 1:
+            raise UpcxxError(
+                "the smp conduit supports single-node worlds only"
+            )
+
+    # -- reachability -----------------------------------------------------
+
+    def pshm_reachable(self, from_rank: int, to_rank: int) -> bool:
+        """Whether ``to_rank``'s segment is mapped into ``from_rank``'s
+        address space (same node: PSHM, or same rank)."""
+        return self.world.same_node(from_rank, to_rank)
+
+    def am_latency_ns(
+        self, src_rank: int, dst_rank: int, nbytes: int = 0
+    ) -> float:
+        """One-way delivery time: base latency plus a bandwidth term for
+        the payload (on-node queues are effectively memcpy-bound; the
+        per-byte cost is already charged CPU-side there)."""
+        if self.world.same_node(src_rank, dst_rank):
+            return _PSHM_AM_LATENCY_NS
+        factor = _OFFNODE_FACTOR[self.name]
+        if factor is None:
+            raise UpcxxError("smp conduit cannot reach off-node ranks")
+        base = self.world.profile.network_latency_ns * factor
+        if nbytes:
+            base += nbytes / self.world.profile.network_bandwidth_bpns
+        return base
+
+    # -- active messages ------------------------------------------------------
+
+    def send_am(
+        self,
+        src_ctx: "RankContext",
+        dst_rank: int,
+        handler: Callable,
+        args: tuple = (),
+        nbytes: int = 0,
+        label: str = "am",
+    ) -> None:
+        """Inject an AM: charges injection (+ payload copy) on the sender
+        and enqueues for delivery at ``now + latency`` on the target."""
+        if not (0 <= dst_rank < self.world.size):
+            raise UpcxxError(f"AM to invalid rank {dst_rank}")
+        src_ctx.charge(CostAction.AM_INJECT)
+        if nbytes:
+            src_ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        arrival = src_ctx.clock.now_ns + self.am_latency_ns(
+            src_ctx.rank, dst_rank, nbytes
+        )
+        self._inboxes[dst_rank].push(
+            ActiveMessage(
+                src_rank=src_ctx.rank,
+                dst_rank=dst_rank,
+                handler=handler,
+                args=args,
+                nbytes=nbytes,
+                arrival_ns=arrival,
+                label=label,
+            )
+        )
+
+    def has_incoming(self, rank: int) -> bool:
+        return bool(self._inboxes[rank])
+
+    def pending_for(self, rank: int) -> int:
+        return len(self._inboxes[rank])
+
+    def poll(self, ctx: "RankContext") -> bool:
+        """Deliver every queued AM for ``ctx`` (called from its progress
+        engine).  The receiver's clock advances to at least each message's
+        arrival time before the handler runs."""
+        inbox = self._inboxes[ctx.rank]
+        if not inbox:
+            return False
+        ctx.charge(CostAction.AM_POLL)
+        while inbox:
+            msg = inbox.pop()
+            ctx.clock.advance_to(msg.arrival_ns)
+            ctx.charge(CostAction.AM_EXECUTE)
+            msg.handler(ctx, *msg.args)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Conduit {self.name} world={self.world.size}>"
+
+
+def make_conduit(name: str, world: "World") -> Conduit:
+    """Construct the conduit for a world (validates name/topology)."""
+    return Conduit(name, world)

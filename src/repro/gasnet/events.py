@@ -1,0 +1,59 @@
+"""``gex_Event``-style completion handles.
+
+GASNet-EX initiation calls return an event handle; a handle may come back
+*invalid* (``GEX_EVENT_INVALID``), meaning the operation completed
+synchronously during initiation.  UPC++'s eager notification keys off
+exactly this dynamic information ("obtained through a combination of
+locality queries and completion status of the underlying GASNet-EX
+operation", §III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class GexEvent:
+    """Completion status of one underlying conduit operation.
+
+    ``done=True`` corresponds to ``GEX_EVENT_INVALID`` (synchronous
+    completion: the PSHM bypass path).  Otherwise ``on_complete`` will be
+    invoked — from progress-engine context — when the reply arrives, with
+    the operation's produced values (a tuple, possibly empty).
+    """
+
+    done: bool
+    values: tuple = ()
+    _callbacks: Optional[list[Callable[[tuple], None]]] = None
+
+    @classmethod
+    def completed(cls, values: tuple = ()) -> "GexEvent":
+        return cls(done=True, values=values)
+
+    @classmethod
+    def pending(cls) -> "GexEvent":
+        return cls(done=False)
+
+    def on_complete(self, cb: Callable[[tuple], None]) -> None:
+        """Attach a callback for asynchronous completion (runs immediately
+        if already complete)."""
+        if self.done:
+            cb(self.values)
+            return
+        if self._callbacks is None:
+            self._callbacks = []
+        self._callbacks.append(cb)
+
+    def signal(self, values: tuple = ()) -> None:
+        """Mark the operation complete (called by the conduit when the
+        reply AM is delivered)."""
+        if self.done:
+            raise RuntimeError("GexEvent signalled twice")
+        self.done = True
+        self.values = values
+        cbs, self._callbacks = self._callbacks, None
+        if cbs:
+            for cb in cbs:
+                cb(values)

@@ -1,0 +1,98 @@
+"""Teams: ordered subsets of ranks.
+
+A light analogue of ``upcxx::team``: the world team spans all ranks, the
+local team spans the caller's node (under PSHM all co-located ranks).
+Teams support rank translation and color/key splitting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import UpcxxError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+
+class Team:
+    """An ordered set of world ranks."""
+
+    def __init__(self, world_ranks: Sequence[int]):
+        ranks = list(world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise UpcxxError("team ranks must be distinct")
+        if not ranks:
+            raise UpcxxError("a team cannot be empty")
+        self._ranks = tuple(ranks)
+        self._index = {r: i for i, r in enumerate(self._ranks)}
+
+    # -- size / membership ----------------------------------------------------
+
+    def rank_n(self) -> int:
+        return len(self._ranks)
+
+    def world_ranks(self) -> tuple[int, ...]:
+        return self._ranks
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    # -- translation --------------------------------------------------------------
+
+    def rank_me(self, ctx: "RankContext") -> int:
+        """The calling rank's index within this team."""
+        try:
+            return self._index[ctx.rank]
+        except KeyError:
+            raise UpcxxError(
+                f"rank {ctx.rank} is not a member of this team"
+            ) from None
+
+    def to_world(self, team_rank: int) -> int:
+        if not (0 <= team_rank < len(self._ranks)):
+            raise UpcxxError(f"team rank {team_rank} out of range")
+        return self._ranks[team_rank]
+
+    def from_world(self, world_rank: int) -> int:
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise UpcxxError(
+                f"world rank {world_rank} is not in this team"
+            ) from None
+
+    # -- splitting ----------------------------------------------------------------
+
+    def split(self, color: int, key: int, ctx: "RankContext") -> "Team":
+        """Split by color (collective in spirit; here computed directly
+        from the world's static topology and each member's (color, key)).
+
+        For simplicity the split function is deterministic on world rank:
+        callers supply a ``color_of``-style precomputed mapping through
+        repeated calls; this method builds the caller's new team from the
+        colors every member would compute.  Since our teams are value
+        objects over static topology, we accept a callable-free protocol:
+        members of the same color are ordered by key then world rank.
+        """
+        raise NotImplementedError(
+            "use Team.split_by(mapping) in the simulated runtime"
+        )
+
+    def split_by(self, color_key: dict[int, tuple[int, int]], my_world_rank: int) -> "Team":
+        """Split using an explicit ``world_rank -> (color, key)`` mapping
+        (must cover all members).  Returns the caller's new team."""
+        try:
+            my_color = color_key[my_world_rank][0]
+        except KeyError:
+            raise UpcxxError("split mapping must cover the calling rank") from None
+        members = [
+            (ck[1], wr)
+            for wr, ck in color_key.items()
+            if ck[0] == my_color and self.contains(wr)
+        ]
+        members.sort()
+        return Team([wr for _, wr in members])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Team n={len(self._ranks)} ranks={self._ranks}>"

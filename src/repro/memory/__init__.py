@@ -1,0 +1,23 @@
+"""PGAS memory substrate: shared segments, the shared-heap allocator, and
+global pointers.
+
+Each simulated rank owns a :class:`~repro.memory.segment.Segment` — a
+numpy-backed byte buffer standing in for the process's registered shared
+segment.  :class:`~repro.memory.global_ptr.GlobalPtr` values name typed
+locations inside any rank's segment and support the UPC++ operations the
+paper relies on: ``is_local()`` locality queries, ``local()`` downcasts to
+direct (raw) access, and pointer arithmetic.
+"""
+
+from repro.memory.global_ptr import GlobalPtr, LocalRef
+from repro.memory.segment import Segment, TypeSpec, type_spec
+from repro.memory.allocator import SharedAllocator
+
+__all__ = [
+    "GlobalPtr",
+    "LocalRef",
+    "Segment",
+    "TypeSpec",
+    "type_spec",
+    "SharedAllocator",
+]

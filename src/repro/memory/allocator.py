@@ -1,0 +1,115 @@
+"""Shared-heap allocator over a rank's segment.
+
+Implements the allocation API behind ``upcxx::new_<T>`` /
+``upcxx::new_array<T>`` / ``upcxx::delete_``: a first-fit free-list
+allocator with block splitting and coalescing of adjacent free blocks.
+Every block is 8-byte aligned (the maximum element alignment of the
+supported types), so any block can hold any supported element type.
+
+This allocator manages *user* shared objects (GUPS tables, matching
+mailboxes, …).  It is distinct from the runtime-internal promise-cell
+"allocations" that the paper's optimization removes — those are cost-model
+events (:data:`~repro.sim.costmodel.CostAction.HEAP_ALLOC_PROMISE_CELL`),
+not segment traffic.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from repro.errors import BadSharedAlloc, SegmentError
+from repro.memory.segment import Segment
+
+_ALIGN = 8
+
+
+def _round_up(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class SharedAllocator:
+    """First-fit free-list allocator for one rank's shared segment."""
+
+    def __init__(self, segment: Segment):
+        self.segment = segment
+        #: sorted list of (offset, size) free blocks, non-adjacent invariant
+        self._free: list[tuple[int, int]] = [(0, segment.size_bytes)]
+        #: live allocations: offset -> size
+        self._live: dict[int, int] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    def bytes_free(self) -> int:
+        return sum(size for _, size in self._free)
+
+    def bytes_live(self) -> int:
+        return sum(self._live.values())
+
+    def live_blocks(self) -> int:
+        return len(self._live)
+
+    def owns(self, offset: int) -> bool:
+        return offset in self._live
+
+    def size_of(self, offset: int) -> int:
+        """Size in bytes of the live block starting at ``offset``."""
+        try:
+            return self._live[offset]
+        except KeyError:
+            raise SegmentError(
+                f"offset {offset} is not the start of a live allocation"
+            ) from None
+
+    # -- allocate / free -----------------------------------------------------
+
+    def allocate(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` (rounded up to 8) and return the offset."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        need = _round_up(nbytes)
+        for i, (off, size) in enumerate(self._free):
+            if size >= need:
+                rest = size - need
+                if rest:
+                    self._free[i] = (off + need, rest)
+                else:
+                    del self._free[i]
+                self._live[off] = need
+                return off
+        raise BadSharedAlloc(
+            f"shared segment of rank {self.segment.owner_rank} exhausted: "
+            f"requested {need} bytes, {self.bytes_free()} free "
+            f"(fragmented into {len(self._free)} blocks)"
+        )
+
+    def free(self, offset: int) -> None:
+        """Release a live block (detects double-free and bad pointers)."""
+        try:
+            size = self._live.pop(offset)
+        except KeyError:
+            raise SegmentError(
+                f"free of offset {offset}: not a live allocation "
+                "(double free or corrupted pointer?)"
+            ) from None
+        insort(self._free, (offset, size))
+        self._coalesce_around(offset)
+
+    def _coalesce_around(self, offset: int) -> None:
+        """Merge the block at ``offset`` with adjacent free neighbours."""
+        idx = next(
+            i for i, (off, _) in enumerate(self._free) if off == offset
+        )
+        # merge with successor
+        if idx + 1 < len(self._free):
+            off, size = self._free[idx]
+            noff, nsize = self._free[idx + 1]
+            if off + size == noff:
+                self._free[idx] = (off, size + nsize)
+                del self._free[idx + 1]
+        # merge with predecessor
+        if idx > 0:
+            poff, psize = self._free[idx - 1]
+            off, size = self._free[idx]
+            if poff + psize == off:
+                self._free[idx - 1] = (poff, psize + size)
+                del self._free[idx]

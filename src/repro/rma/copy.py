@@ -1,0 +1,102 @@
+"""``upcxx::copy``-style transfers between two global pointers.
+
+Four locality cases, composed from the put/get primitives' cost structure:
+
+* both local — one synchronous memcpy (shared-memory bypass);
+* local → remote — a bulk put;
+* remote → local — a bulk get into the destination;
+* remote → remote — staged through the initiator (get then put), as a
+  CPU-mediated implementation would do without peer-to-peer offload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.completions import Completions, CxDispatcher, operation_cx
+from repro.core.events import Event
+from repro.errors import InvalidGlobalPointer
+from repro.memory.global_ptr import GlobalPtr, LocalRef
+from repro.rma.get import rget_bulk, rget_into
+from repro.rma.put import rput_bulk
+from repro.runtime.context import current_ctx
+from repro.sim.costmodel import CostAction
+
+_COPY_EVENTS = frozenset({Event.SOURCE, Event.OPERATION})
+
+
+def copy(
+    src: GlobalPtr,
+    dest: GlobalPtr,
+    count: int,
+    comps: Optional[Completions] = None,
+):
+    """Copy ``count`` elements from ``src`` to ``dest`` asynchronously."""
+    ctx = current_ctx()
+    if src.is_null or dest.is_null:
+        raise InvalidGlobalPointer("copy with a null global pointer")
+    if src.ts is not dest.ts:
+        raise InvalidGlobalPointer(
+            "copy requires matching element types "
+            f"({src.ts.name} vs {dest.ts.name})"
+        )
+    if count < 1:
+        raise ValueError("copy needs count >= 1")
+
+    src_local = src.is_local(ctx)
+    dest_local = dest.is_local(ctx)
+
+    if src_local and dest_local:
+        ctx.charge(CostAction.RMA_CALL_OVERHEAD)
+        if comps is None:
+            comps = operation_cx.as_future()
+        disp = CxDispatcher(
+            ctx, comps, supported=_COPY_EVENTS, op_name="copy"
+        )
+        if not ctx.flags.elide_local_rma_alloc:
+            ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
+            ctx.charge(CostAction.HEAP_FREE)
+        ctx.charge(CostAction.GPTR_DOWNCAST, 2)
+        data = ctx.world.segment_of(src.rank).read_array(
+            src.offset, src.ts, count
+        )
+        ctx.world.segment_of(dest.rank).write_array(dest.offset, dest.ts, data)
+        nbytes = count * src.ts.size
+        if nbytes <= 8:
+            ctx.charge(CostAction.MEMCPY_8B)
+        else:
+            ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        disp.notify_sync(Event.SOURCE)
+        disp.notify_sync(Event.OPERATION)
+        return disp.result()
+
+    if src_local and not dest_local:
+        data = ctx.world.segment_of(src.rank).read_array(
+            src.offset, src.ts, count
+        )
+        return rput_bulk(data, dest, comps)
+
+    if not src_local and dest_local:
+        dest_ref = LocalRef(
+            ctx.world.segment_of(dest.rank), dest.offset, dest.ts
+        )
+        return rget_into(src, dest_ref, count, comps)
+
+    # remote → remote: stage through the initiator
+    if comps is None:
+        comps = operation_cx.as_future()
+    if any(r.event is Event.SOURCE for r in comps.requests):
+        from repro.errors import CompletionError
+
+        raise CompletionError(
+            "copy between two remote pointers supports only operation "
+            "completion (the initiator does not own the source buffer)"
+        )
+    disp = CxDispatcher(ctx, comps, supported=_COPY_EVENTS, op_name="copy")
+    pending = disp.pend(Event.OPERATION)
+    rget_bulk(src, count).then(
+        lambda data: rput_bulk(data, dest).then(
+            lambda: pending.complete(())
+        )
+    )
+    return disp.result()

@@ -1,0 +1,149 @@
+"""One-sided puts (``upcxx::rput``).
+
+Supports all three completion events: source (the source data has been
+captured), remote (an RPC on the target after data arrival), operation
+(done from the initiator's view).  Returned futures are ordered source
+before operation when both are requested, matching the tuple order of the
+paper's Section II-A example.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.completions import Completions, CxDispatcher, operation_cx
+from repro.core.events import Event
+from repro.errors import InvalidGlobalPointer
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.context import current_ctx
+from repro.sim.costmodel import CostAction
+
+_PUT_EVENTS = frozenset({Event.SOURCE, Event.REMOTE, Event.OPERATION})
+
+
+def _ship_remote_rpcs(ctx, disp: CxDispatcher, dest_rank: int) -> None:
+    """Remote-completion RPCs always travel as AMs to the target (even a
+    co-located one), executing there inside its progress engine."""
+    for req in disp.rpc_requests():
+        ctx.conduit.send_am(
+            ctx,
+            dest_rank,
+            lambda tctx, r=req: r.fn(*r.args),
+            nbytes=0,
+            label="remote_cx_rpc",
+        )
+
+
+def _local_put(ctx, disp: CxDispatcher, dest: GlobalPtr, write, nbytes: int):
+    """Shared-memory-bypass path: synchronous data movement."""
+    if not ctx.flags.elide_local_rma_alloc:
+        # 2021.3.0: extra op-descriptor allocation even for local targets
+        ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
+        ctx.charge(CostAction.HEAP_FREE)
+    ctx.charge(CostAction.GPTR_DOWNCAST)
+    write()
+    if nbytes <= 8:
+        ctx.charge(CostAction.MEMCPY_8B)
+    else:
+        ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+    _ship_remote_rpcs(ctx, disp, dest.rank)
+    disp.notify_sync(Event.SOURCE)
+    disp.notify_sync(Event.OPERATION)
+    return disp.result()
+
+
+def _remote_put(ctx, disp: CxDispatcher, dest: GlobalPtr, payload, nbytes: int):
+    """Off-node path: request/reply AM pair, deferred completion."""
+    if ctx.flags.eager_notification:
+        # the one branch eager support adds to the off-node path (§IV-A)
+        ctx.charge(CostAction.LOCALITY_BRANCH)
+    ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
+    ctx.charge(CostAction.HEAP_FREE)
+    disp.notify_sync(Event.SOURCE)  # payload captured at injection
+    pending = disp.pend(Event.OPERATION)
+    rpc_reqs = disp.rpc_requests()
+    initiator = ctx.rank
+
+    def on_target(tctx, dest=dest, payload=payload):
+        if np.ndim(payload) == 0:
+            tctx.world.segment_of(dest.rank).write_scalar(
+                dest.offset, dest.ts, payload
+            )
+            tctx.charge(CostAction.MEMCPY_8B)
+        else:
+            tctx.world.segment_of(dest.rank).write_array(
+                dest.offset, dest.ts, payload
+            )
+            tctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        for req in rpc_reqs:
+            req.fn(*req.args)
+        tctx.conduit.send_am(
+            tctx,
+            initiator,
+            lambda ictx: pending.complete(()),
+            nbytes=0,
+            label="put_ack",
+        )
+
+    ctx.conduit.send_am(
+        ctx, dest.rank, on_target, nbytes=nbytes, label="put_req"
+    )
+    return disp.result()
+
+
+def rput(value, dest: GlobalPtr, comps: Optional[Completions] = None):
+    """Write one element to ``dest`` asynchronously.
+
+    Returns None / a future / a tuple of futures according to the
+    requested completions (default: ``operation_cx.as_future()``).
+    """
+    ctx = current_ctx()
+    ctx.charge(CostAction.RMA_CALL_OVERHEAD)
+    if dest.is_null:
+        raise InvalidGlobalPointer("rput to a null global pointer")
+    if comps is None:
+        comps = operation_cx.as_future()
+    disp = CxDispatcher(ctx, comps, supported=_PUT_EVENTS, op_name="rput")
+    if dest.is_local(ctx):
+        seg = ctx.world.segment_of(dest.rank)
+        return _local_put(
+            ctx,
+            disp,
+            dest,
+            lambda: seg.write_scalar(dest.offset, dest.ts, value),
+            dest.ts.size,
+        )
+    return _remote_put(ctx, disp, dest, value, dest.ts.size)
+
+
+def rput_bulk(values, dest: GlobalPtr, comps: Optional[Completions] = None):
+    """Write a contiguous block of elements starting at ``dest``.
+
+    ``values`` is any 1-D sequence convertible to the destination dtype.
+    """
+    ctx = current_ctx()
+    ctx.charge(CostAction.RMA_CALL_OVERHEAD)
+    if dest.is_null:
+        raise InvalidGlobalPointer("rput_bulk to a null global pointer")
+    arr = np.asarray(values, dtype=dest.ts.dtype)
+    if arr.ndim != 1:
+        raise ValueError("rput_bulk expects a 1-D sequence")
+    if comps is None:
+        comps = operation_cx.as_future()
+    disp = CxDispatcher(
+        ctx, comps, supported=_PUT_EVENTS, op_name="rput_bulk"
+    )
+    nbytes = arr.size * dest.ts.size
+    if dest.is_local(ctx):
+        seg = ctx.world.segment_of(dest.rank)
+        return _local_put(
+            ctx,
+            disp,
+            dest,
+            lambda: seg.write_array(dest.offset, dest.ts, arr),
+            nbytes,
+        )
+    # the payload is captured by value at injection (source completes now)
+    return _remote_put(ctx, disp, dest, arr.copy(), nbytes)

@@ -1,0 +1,292 @@
+"""Vector-Index-Strided (VIS) RMA: strided and indexed puts/gets.
+
+Models the ``upcxx::rput_strided`` / ``rput_irregular`` family used for
+halo exchanges and gather/scatter access patterns.  A strided transfer
+moves ``count`` elements whose consecutive targets are ``stride`` elements
+apart; an indexed transfer scatters/gathers at explicit element indices.
+
+Cost model: one RMA call + one completion set for the whole transfer,
+with per-element copy costs — this is exactly why coarse-grained VIS
+operations benefit little from eager notification (the per-operation
+overhead the paper removes is amortized over the payload), which the
+stencil application uses as a negative control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.completions import Completions, CxDispatcher, operation_cx
+from repro.core.events import Event
+from repro.errors import InvalidGlobalPointer
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.context import current_ctx
+from repro.sim.costmodel import CostAction
+
+_VIS_EVENTS = frozenset({Event.SOURCE, Event.OPERATION})
+
+
+def _start_vis(ctx, comps: Optional[Completions], op_name: str):
+    ctx.charge(CostAction.RMA_CALL_OVERHEAD)
+    if comps is None:
+        comps = operation_cx.as_future()
+    return CxDispatcher(ctx, comps, supported=_VIS_EVENTS, op_name=op_name)
+
+
+def _local_vis_epilogue(ctx, disp, nbytes: int):
+    ctx.charge(CostAction.GPTR_DOWNCAST)
+    ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+    disp.notify_sync(Event.SOURCE)
+    disp.notify_sync(Event.OPERATION)
+    return disp.result()
+
+
+def rput_strided(
+    values,
+    dest: GlobalPtr,
+    count: int,
+    stride: int,
+    comps: Optional[Completions] = None,
+):
+    """Write ``count`` elements at ``dest, dest+stride, dest+2*stride, …``.
+
+    ``stride`` is in elements and must be nonzero (negative walks
+    backward, as with C++ strided iterators).
+    """
+    ctx = current_ctx()
+    disp = _start_vis(ctx, comps, "rput_strided")
+    if dest.is_null:
+        raise InvalidGlobalPointer("rput_strided to a null global pointer")
+    if count < 1:
+        raise ValueError("rput_strided needs count >= 1")
+    if stride == 0:
+        raise ValueError("rput_strided needs a nonzero stride")
+    arr = np.asarray(values, dtype=dest.ts.dtype)
+    if arr.shape != (count,):
+        raise ValueError(
+            f"rput_strided expects exactly {count} values, got {arr.shape}"
+        )
+    if not dest.is_local(ctx):
+        return _remote_strided_put(ctx, disp, arr, dest, count, stride)
+    seg = ctx.world.segment_of(dest.rank)
+    for i in range(count):
+        elem = dest + i * stride
+        seg.write_scalar(elem.offset, dest.ts, arr[i])
+    return _local_vis_epilogue(ctx, disp, count * dest.ts.size)
+
+
+def rget_strided(
+    src: GlobalPtr,
+    count: int,
+    stride: int,
+    comps: Optional[Completions] = None,
+):
+    """``future<ndarray>`` of ``count`` elements read at stride from
+    ``src``."""
+    ctx = current_ctx()
+    if comps is None:
+        comps = operation_cx.as_future()
+    ctx.charge(CostAction.RMA_CALL_OVERHEAD)
+    disp = CxDispatcher(
+        ctx,
+        comps,
+        supported=_VIS_EVENTS,
+        value_event=Event.OPERATION,
+        nvalues=1,
+        op_name="rget_strided",
+    )
+    if src.is_null:
+        raise InvalidGlobalPointer("rget_strided from a null global pointer")
+    if count < 1:
+        raise ValueError("rget_strided needs count >= 1")
+    if stride == 0:
+        raise ValueError("rget_strided needs a nonzero stride")
+    if not src.is_local(ctx):
+        return _remote_strided_get(ctx, disp, src, count, stride)
+    seg = ctx.world.segment_of(src.rank)
+    ctx.charge(CostAction.GPTR_DOWNCAST)
+    ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, count * src.ts.size)
+    out = np.empty(count, dtype=src.ts.dtype)
+    for i in range(count):
+        elem = src + i * stride
+        out[i] = seg.read_scalar(elem.offset, src.ts)
+    disp.notify_sync(Event.OPERATION, (out,))
+    return disp.result()
+
+
+def rput_indexed(
+    values,
+    base: GlobalPtr,
+    indices: Sequence[int],
+    comps: Optional[Completions] = None,
+):
+    """Scatter ``values[k]`` to ``base + indices[k]`` (irregular put)."""
+    ctx = current_ctx()
+    disp = _start_vis(ctx, comps, "rput_indexed")
+    if base.is_null:
+        raise InvalidGlobalPointer("rput_indexed to a null global pointer")
+    idx = list(indices)
+    arr = np.asarray(values, dtype=base.ts.dtype)
+    if arr.shape != (len(idx),):
+        raise ValueError("rput_indexed needs one value per index")
+    if not idx:
+        raise ValueError("rput_indexed needs at least one index")
+    if not base.is_local(ctx):
+        return _remote_indexed_put(ctx, disp, arr, base, idx)
+    seg = ctx.world.segment_of(base.rank)
+    for k, i in enumerate(idx):
+        elem = base + i
+        seg.write_scalar(elem.offset, base.ts, arr[k])
+    return _local_vis_epilogue(ctx, disp, len(idx) * base.ts.size)
+
+
+def rget_indexed(
+    base: GlobalPtr,
+    indices: Sequence[int],
+    comps: Optional[Completions] = None,
+):
+    """Gather ``base + indices[k]`` into a ``future<ndarray>``."""
+    ctx = current_ctx()
+    if comps is None:
+        comps = operation_cx.as_future()
+    ctx.charge(CostAction.RMA_CALL_OVERHEAD)
+    disp = CxDispatcher(
+        ctx,
+        comps,
+        supported=_VIS_EVENTS,
+        value_event=Event.OPERATION,
+        nvalues=1,
+        op_name="rget_indexed",
+    )
+    if base.is_null:
+        raise InvalidGlobalPointer("rget_indexed from a null global pointer")
+    idx = list(indices)
+    if not idx:
+        raise ValueError("rget_indexed needs at least one index")
+    if not base.is_local(ctx):
+        return _remote_indexed_get(ctx, disp, base, idx)
+    seg = ctx.world.segment_of(base.rank)
+    ctx.charge(CostAction.GPTR_DOWNCAST)
+    ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, len(idx) * base.ts.size)
+    out = np.empty(len(idx), dtype=base.ts.dtype)
+    for k, i in enumerate(idx):
+        elem = base + i
+        out[k] = seg.read_scalar(elem.offset, base.ts)
+    disp.notify_sync(Event.OPERATION, (out,))
+    return disp.result()
+
+
+# ---------------------------------------------------------------------------
+# off-node paths (AM round trips carrying the access pattern)
+# ---------------------------------------------------------------------------
+
+
+def _offnode_prologue(ctx, disp):
+    if ctx.flags.eager_notification:
+        ctx.charge(CostAction.LOCALITY_BRANCH)
+    ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
+    ctx.charge(CostAction.HEAP_FREE)
+
+
+def _remote_strided_put(ctx, disp, arr, dest, count, stride):
+    _offnode_prologue(ctx, disp)
+    disp.notify_sync(Event.SOURCE)
+    pending = disp.pend(Event.OPERATION)
+    initiator = ctx.rank
+    payload = arr.copy()
+    nbytes = count * dest.ts.size
+
+    def on_target(tctx):
+        seg = tctx.world.segment_of(dest.rank)
+        tctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        for i in range(count):
+            elem = dest + i * stride
+            seg.write_scalar(elem.offset, dest.ts, payload[i])
+        tctx.conduit.send_am(
+            tctx, initiator, lambda ictx: pending.complete(()),
+            label="vis_put_ack",
+        )
+
+    ctx.conduit.send_am(
+        ctx, dest.rank, on_target, nbytes=nbytes, label="vis_put"
+    )
+    return disp.result()
+
+
+def _remote_strided_get(ctx, disp, src, count, stride):
+    _offnode_prologue(ctx, disp)
+    disp.notify_sync(Event.SOURCE)
+    pending = disp.pend(Event.OPERATION)
+    initiator = ctx.rank
+    nbytes = count * src.ts.size
+
+    def on_target(tctx):
+        seg = tctx.world.segment_of(src.rank)
+        tctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        out = np.empty(count, dtype=src.ts.dtype)
+        for i in range(count):
+            elem = src + i * stride
+            out[i] = seg.read_scalar(elem.offset, src.ts)
+        tctx.conduit.send_am(
+            tctx,
+            initiator,
+            lambda ictx, out=out: pending.complete((out,)),
+            nbytes=nbytes,
+            label="vis_get_reply",
+        )
+
+    ctx.conduit.send_am(ctx, src.rank, on_target, label="vis_get")
+    return disp.result()
+
+
+def _remote_indexed_put(ctx, disp, arr, base, idx):
+    _offnode_prologue(ctx, disp)
+    disp.notify_sync(Event.SOURCE)
+    pending = disp.pend(Event.OPERATION)
+    initiator = ctx.rank
+    payload = arr.copy()
+    nbytes = len(idx) * base.ts.size
+
+    def on_target(tctx):
+        seg = tctx.world.segment_of(base.rank)
+        tctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        for k, i in enumerate(idx):
+            elem = base + i
+            seg.write_scalar(elem.offset, base.ts, payload[k])
+        tctx.conduit.send_am(
+            tctx, initiator, lambda ictx: pending.complete(()),
+            label="vis_iput_ack",
+        )
+
+    ctx.conduit.send_am(
+        ctx, base.rank, on_target, nbytes=nbytes, label="vis_iput"
+    )
+    return disp.result()
+
+
+def _remote_indexed_get(ctx, disp, base, idx):
+    _offnode_prologue(ctx, disp)
+    disp.notify_sync(Event.SOURCE)
+    pending = disp.pend(Event.OPERATION)
+    initiator = ctx.rank
+    nbytes = len(idx) * base.ts.size
+
+    def on_target(tctx):
+        seg = tctx.world.segment_of(base.rank)
+        tctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        out = np.empty(len(idx), dtype=base.ts.dtype)
+        for k, i in enumerate(idx):
+            elem = base + i
+            out[k] = seg.read_scalar(elem.offset, base.ts)
+        tctx.conduit.send_am(
+            tctx,
+            initiator,
+            lambda ictx, out=out: pending.complete((out,)),
+            nbytes=nbytes,
+            label="vis_iget_reply",
+        )
+
+    ctx.conduit.send_am(ctx, base.rank, on_target, label="vis_iget")
+    return disp.result()

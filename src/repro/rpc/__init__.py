@@ -1,0 +1,9 @@
+"""Remote procedure calls: ``rpc`` (round-trip, future-returning) and
+``rpc_ff`` (fire-and-forget), with payload-size accounting via
+:mod:`repro.rpc.serialization`.
+"""
+
+from repro.rpc.rpc import rpc, rpc_ff
+from repro.rpc.serialization import payload_nbytes
+
+__all__ = ["rpc", "rpc_ff", "payload_nbytes"]

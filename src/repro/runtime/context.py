@@ -1,0 +1,193 @@
+"""Per-rank runtime state and the current-context mechanism.
+
+Every simulated rank owns a :class:`RankContext`: its virtual clock, cost
+model, progress engine, RNG, shared-segment allocator and conduit endpoint.
+API functions (``rput``, ``rget``, atomic ops, …) resolve the calling
+rank's context through a thread-local, exactly as the real UPC++ runtime
+resolves "the current persona's state" through thread-local storage.
+
+Code running outside :func:`repro.runtime.runtime.spmd_run` (unit tests,
+REPL exploration) still gets a fully functional single-rank world: the
+first call to :func:`current_ctx` on such a thread lazily creates an
+*ambient* standalone world of one rank with the generic machine profile.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import NotInitializedError
+from repro.runtime.config import FeatureFlags, RuntimeConfig
+from repro.runtime.progress import ProgressEngine
+from repro.sim.clock import VirtualClock
+from repro.sim.costmodel import CostAction, CostModel
+from repro.sim.machines import MachineProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gasnet.conduit import Conduit
+    from repro.memory.allocator import SharedAllocator
+    from repro.memory.segment import Segment
+    from repro.runtime.runtime import World
+    from repro.runtime.scheduler import CooperativeScheduler
+
+
+class RankContext:
+    """All runtime state owned by one simulated rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        world: "World",
+        config: RuntimeConfig,
+        profile: MachineProfile,
+    ):
+        self.rank = rank
+        self.world = world
+        self.config = config
+        self.flags: FeatureFlags = config.resolved_flags()
+        self.profile = profile
+        self.clock = VirtualClock()
+        self.costs = CostModel(profile, self.clock)
+        self.costs._ctx = self  # back-reference for tracing
+        if config.noise:
+            self.costs.noise = config.noise
+            # independent of self.rng so timing jitter never perturbs
+            # application-level randomness
+            self.costs.noise_rng = random.Random(
+                (config.seed * 7_368_787) ^ (rank * 104_729) ^ 0x5EED
+            )
+            # job-wide interference: one draw per (seed, world) shared by
+            # all ranks — the correlated component a whole sample absorbs
+            run_rng = random.Random(config.seed * 48_611 + 0xCAFE)
+            self.costs.noise_run_factor = 1.0 + 2.0 * config.noise * abs(
+                run_rng.gauss(0, 1)
+            )
+        self.progress_engine = ProgressEngine(self)
+        self.rng = random.Random((config.seed * 1_000_003) ^ (rank + 1))
+        # wired by the runtime after construction:
+        self.segment: "Segment" = None  # type: ignore[assignment]
+        self.allocator: "SharedAllocator" = None  # type: ignore[assignment]
+        self.conduit: "Conduit" = None  # type: ignore[assignment]
+        self.scheduler: Optional["CooperativeScheduler"] = None
+        self._barrier_epoch = 0
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        return self.world.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RankContext rank={self.rank}/{self.world_size}>"
+
+    # -- cost & progress shorthands ----------------------------------------
+
+    def charge(self, action: CostAction, times: int = 1) -> None:
+        self.costs.charge(action, times)
+
+    def charge_bytes(self, action: CostAction, nbytes: int) -> None:
+        self.costs.charge_bytes(action, nbytes)
+
+    def progress(self) -> bool:
+        """Run one pass of this rank's progress engine."""
+        return self.progress_engine.progress()
+
+    def has_incoming(self) -> bool:
+        """True if a progress call now could do work (deferred
+        notifications, LPCs, or arrived AMs)."""
+        if self.progress_engine.has_pending():
+            return True
+        conduit = self.conduit
+        return conduit is not None and conduit.has_incoming(self.rank)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def yield_to_others(self) -> None:
+        """Let other ranks run (no-op in a standalone 1-rank world)."""
+        if self.scheduler is not None:
+            self.scheduler.yield_now(self.rank)
+
+    def block_until(self, wake_when: Callable[[], bool]) -> None:
+        """Block this rank until the predicate holds.
+
+        In a standalone world there is nobody else to produce events, so a
+        false predicate with no pending local work is an immediate deadlock.
+        """
+        if self.scheduler is not None:
+            self.scheduler.block_until(self.rank, wake_when)
+        elif not wake_when():
+            from repro.errors import DeadlockError
+
+            raise DeadlockError(
+                "single-rank world blocked on a condition that no pending "
+                "event can satisfy"
+            )
+
+    def barrier(self) -> None:
+        """Block until all ranks reach the barrier; synchronize clocks."""
+        self.world.barrier(self)
+
+    # -- locality ----------------------------------------------------------------
+
+    def is_local_rank(self, rank: int) -> bool:
+        """Whether ``rank``'s segment is directly addressable from here.
+
+        All of the paper's experiments run on one node with PSHM, so in a
+        simulated world this is true for every rank sharing our "node"
+        (the whole world unless the world was built multi-node).
+        """
+        return self.world.same_node(self.rank, rank)
+
+
+# ---------------------------------------------------------------------------
+# current-context resolution
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def set_current_ctx(ctx: Optional[RankContext]) -> None:
+    """Bind ``ctx`` as the calling thread's rank context (None to clear)."""
+    _tls.ctx = ctx
+
+
+def current_ctx_or_none() -> Optional[RankContext]:
+    """The calling thread's context, or None (never creates one)."""
+    return getattr(_tls, "ctx", None)
+
+
+def current_ctx() -> RankContext:
+    """The calling thread's context, creating the ambient standalone
+    single-rank world on first use outside ``spmd_run``."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        ctx = _make_ambient()
+        _tls.ctx = ctx
+    return ctx
+
+
+def reset_ambient_ctx() -> None:
+    """Discard the calling thread's ambient world (tests use this to get a
+    fresh segment/clock)."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None and getattr(ctx, "_is_ambient", False):
+        _tls.ctx = None
+
+
+def require_spmd_ctx() -> RankContext:
+    """Like :func:`current_ctx` but refuses to auto-create a world."""
+    ctx = current_ctx_or_none()
+    if ctx is None:
+        raise NotInitializedError()
+    return ctx
+
+
+def _make_ambient() -> RankContext:
+    from repro.runtime.runtime import build_world  # local: avoids cycle
+
+    world = build_world(RuntimeConfig())
+    ctx = world.contexts[0]
+    ctx._is_ambient = True  # type: ignore[attr-defined]
+    return ctx

@@ -1,0 +1,154 @@
+"""``dist_object``: a collectively constructed, per-rank value with remote
+fetch.
+
+Mirrors ``upcxx::dist_object<T>``: every rank constructs the object (in
+the same collective order — construction order assigns the identity), each
+rank holds its own value, and :meth:`DistObject.fetch` retrieves another
+rank's value asynchronously via RPC.
+
+Fetches are allowed to race construction: UPC++ guarantees a fetch issued
+before the target rank has constructed its ``dist_object`` completes once
+it does.  The registry implements that by parking the reply until the
+matching construction happens (exercised in tests by fetching from a rank
+that constructs late).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.cell import PromiseCell
+from repro.core.future import Future
+from repro.errors import UpcxxError
+from repro.rpc.rpc import rpc
+from repro.runtime.context import current_ctx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+
+class DistRegistry:
+    """World-level directory of (dist-id, rank) → value, with parked
+    waiters for not-yet-constructed entries."""
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[int, int], Any] = {}
+        self._waiters: dict[tuple[int, int], list[PromiseCell]] = {}
+
+    def register(self, dist_id: int, rank: int, value: Any) -> None:
+        key = (dist_id, rank)
+        if key in self._values:
+            raise UpcxxError(
+                f"dist_object id {dist_id} constructed twice on rank {rank}"
+            )
+        self._values[key] = value
+        for cell in self._waiters.pop(key, ()):
+            cell.values = (value,)
+            cell.fulfill()
+
+    def unregister(self, dist_id: int, rank: int) -> None:
+        self._values.pop((dist_id, rank), None)
+
+    def get_local(self, dist_id: int, rank: int) -> Any:
+        try:
+            return self._values[(dist_id, rank)]
+        except KeyError:
+            raise UpcxxError(
+                f"dist_object id {dist_id} not (or no longer) constructed "
+                f"on rank {rank}"
+            ) from None
+
+    def get_or_wait(self, ctx: "RankContext", dist_id: int, rank: int):
+        """Value if present, else a future parked until construction."""
+        key = (dist_id, rank)
+        if key in self._values:
+            return self._values[key]
+        cell = PromiseCell(nvalues=1, deps=1)
+        self._waiters.setdefault(key, []).append(cell)
+        return Future(cell)
+
+
+def _registry(ctx: "RankContext") -> DistRegistry:
+    world = ctx.world
+    reg = getattr(world, "_dist_registry", None)
+    if reg is None:
+        reg = DistRegistry()
+        world._dist_registry = reg  # type: ignore[attr-defined]
+    return reg
+
+
+class DistObject:
+    """One rank's slice of a distributed object.
+
+    Construction is collective in spirit: every rank must construct its
+    ``DistObject`` instances in the same order (the usual SPMD pattern),
+    which is what makes the implicit identity agree — exactly the contract
+    of ``upcxx::dist_object``.
+    """
+
+    __slots__ = ("_id", "_rank", "_ctx", "_live")
+
+    def __init__(self, value: Any):
+        ctx = current_ctx()
+        self._ctx = ctx
+        self._rank = ctx.rank
+        self._id = self._next_id(ctx)
+        self._live = True
+        _registry(ctx).register(self._id, ctx.rank, value)
+
+    @staticmethod
+    def _next_id(ctx: "RankContext") -> int:
+        n = getattr(ctx, "_dist_counter", 0)
+        ctx._dist_counter = n + 1  # type: ignore[attr-defined]
+        return n
+
+    # -- local access ----------------------------------------------------
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    def local(self) -> Any:
+        """This rank's value (``*obj`` in UPC++)."""
+        self._check_live()
+        return _registry(self._ctx).get_local(self._id, self._rank)
+
+    def update_local(self, value: Any) -> None:
+        """Replace this rank's value (plain mutation of the local slice)."""
+        self._check_live()
+        reg = _registry(self._ctx)
+        reg.unregister(self._id, self._rank)
+        reg.register(self._id, self._rank, value)
+
+    # -- remote access -----------------------------------------------------
+
+    def fetch(self, rank: int) -> Future:
+        """``future<T>`` of ``rank``'s value (an RPC round trip, §II-A
+        idiom for exchanging global pointers)."""
+        self._check_live()
+        ctx = self._ctx
+        if not (0 <= rank < ctx.world_size):
+            raise UpcxxError(f"fetch from invalid rank {rank}")
+        dist_id = self._id
+
+        def on_target():
+            from repro.runtime.context import current_ctx as cc
+
+            return _registry(cc()).get_or_wait(cc(), dist_id, rank)
+
+        return rpc(rank, on_target)
+
+    # -- teardown --------------------------------------------------------------
+
+    def delete(self) -> None:
+        """Drop this rank's slice (further access is an error)."""
+        if self._live:
+            _registry(self._ctx).unregister(self._id, self._rank)
+            self._live = False
+
+    def _check_live(self) -> None:
+        if not self._live:
+            raise UpcxxError("dist_object used after delete()")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DistObject id={self._id} rank={self._rank}>"

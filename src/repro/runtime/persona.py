@@ -1,0 +1,146 @@
+"""Personas: completion-routing identities (a simplified ``upcxx::persona``).
+
+UPC++ delivers completion notifications and LPCs to the *persona* that
+initiated the operation; each OS thread has a stack of active personas
+with the bottom being its default persona, and rank 0's primordial thread
+holds the master persona.  The paper's experiments are single-threaded per
+process, so this reproduction implements the subset that matters for
+completion semantics:
+
+* every rank has a **master persona** (created with the context);
+* additional personas can be created and pushed/popped with
+  :class:`persona_scope` (a context manager, mirroring
+  ``upcxx::persona_scope``);
+* :func:`lpc` enqueues a function onto a persona's queue; it runs when
+  that persona's owner calls progress **while the persona is active** —
+  the routing guarantee UPC++ gives;
+* the current persona is consulted by completion dispatch (LPC
+  completions land on the initiating persona).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.cell import PromiseCell
+from repro.core.future import Future
+from repro.errors import UpcxxError
+from repro.runtime.context import current_ctx
+from repro.sim.costmodel import CostAction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+
+class Persona:
+    """A completion-routing identity with its own LPC queue."""
+
+    __slots__ = ("name", "owner_rank", "_queue")
+
+    def __init__(self, name: str = "persona", owner_rank: int | None = None):
+        ctx = current_ctx()
+        self.name = name
+        self.owner_rank = ctx.rank if owner_rank is None else owner_rank
+        self._queue: deque[tuple[Callable, tuple, PromiseCell]] = deque()
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def _push(self, fn: Callable, args: tuple, cell: PromiseCell) -> None:
+        self._queue.append((fn, args, cell))
+
+    def drain(self, ctx: "RankContext") -> int:
+        """Run every queued LPC (caller must be the active persona's
+        owner); returns how many ran."""
+        n = 0
+        while self._queue:
+            fn, args, cell = self._queue.popleft()
+            ctx.charge(CostAction.PROGRESS_DISPATCH)
+            out = fn(*args)
+            if cell.nvalues:
+                cell.values = (out,)
+            cell.fulfill()
+            n += 1
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Persona {self.name!r} rank={self.owner_rank}>"
+
+
+def _persona_stack(ctx: "RankContext") -> list[Persona]:
+    stack = getattr(ctx, "_persona_stack", None)
+    if stack is None:
+        master = Persona.__new__(Persona)
+        master.name = "master"
+        master.owner_rank = ctx.rank
+        master._queue = deque()
+        stack = [master]
+        ctx._persona_stack = stack  # type: ignore[attr-defined]
+        # master persona LPCs drain during normal progress
+        ctx.progress_engine.register_poller(
+            lambda c=ctx: _drain_active(c) > 0
+        )
+    return stack
+
+
+def _drain_active(ctx: "RankContext") -> int:
+    n = 0
+    for persona in list(getattr(ctx, "_persona_stack", ())):
+        n += persona.drain(ctx)
+    return n
+
+
+def master_persona() -> Persona:
+    """The calling rank's master persona."""
+    return _persona_stack(current_ctx())[0]
+
+
+def current_persona() -> Persona:
+    """The top of the calling rank's active-persona stack."""
+    return _persona_stack(current_ctx())[-1]
+
+
+class persona_scope:
+    """Context manager activating a persona (``upcxx::persona_scope``)."""
+
+    def __init__(self, persona: Persona):
+        self.persona = persona
+        self._ctx = None
+
+    def __enter__(self) -> Persona:
+        ctx = current_ctx()
+        if self.persona.owner_rank != ctx.rank:
+            raise UpcxxError(
+                "a persona can only be activated on its owning rank"
+            )
+        self._ctx = ctx
+        _persona_stack(ctx).append(self.persona)
+        return self.persona
+
+    def __exit__(self, *exc) -> None:
+        stack = _persona_stack(self._ctx)
+        if stack[-1] is not self.persona:
+            raise UpcxxError("persona_scope exited out of order")
+        stack.pop()
+        return None
+
+
+def lpc(persona: Persona, fn: Callable, *args) -> Future:
+    """Enqueue ``fn(*args)`` onto ``persona``; ``future<T>`` of its result.
+
+    The LPC runs inside a progress call on the persona's owning rank while
+    the persona is active (the master persona is always active).
+    """
+    ctx = current_ctx()
+    ctx.charge(CostAction.LPC_ENQUEUE)
+    cell = PromiseCell(nvalues=1, deps=1)
+    if persona.owner_rank == ctx.rank:
+        persona._push(fn, args, cell)
+    else:
+        # cross-rank LPC: ship to the owner's persona via AM
+        def on_owner(tctx, persona=persona):
+            persona._push(fn, args, cell)
+
+        ctx.conduit.send_am(ctx, persona.owner_rank, on_owner, label="lpc")
+    return Future(cell)

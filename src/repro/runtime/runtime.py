@@ -1,0 +1,251 @@
+"""World construction and the SPMD driver.
+
+:func:`spmd_run` is the reproduction's analogue of launching a UPC++ job:
+it builds a :class:`World` (segments, conduit, per-rank contexts, the
+shared ready cell), spawns one thread per rank under the cooperative
+scheduler, runs the supplied function on every rank, and returns the
+per-rank results together with the world (whose virtual clocks and cost
+counters the benchmarks read).
+
+Example
+-------
+::
+
+    from repro import rank_me, rank_n, barrier
+    from repro.runtime import spmd_run
+
+    def hello():
+        barrier()
+        return rank_me() * 10
+
+    result = spmd_run(hello, ranks=4)
+    assert result.values == [0, 10, 20, 30]
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.cell import PromiseCell
+from repro.errors import UpcxxError
+from repro.gasnet.conduit import Conduit, make_conduit
+from repro.gasnet.team import Team
+from repro.memory.allocator import SharedAllocator
+from repro.memory.segment import Segment
+from repro.runtime.config import RuntimeConfig, Version
+from repro.runtime.context import RankContext, set_current_ctx
+from repro.runtime.scheduler import CooperativeScheduler
+from repro.sim.costmodel import CostAction
+from repro.sim.machines import MachineProfile, profile_by_name
+
+_DEFAULT_SEGMENT_BYTES = 1 << 20
+
+
+class World:
+    """All shared state of one simulated job."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        ranks: int = 1,
+        n_nodes: int = 1,
+        segment_bytes: int = _DEFAULT_SEGMENT_BYTES,
+    ):
+        if ranks < 1:
+            raise UpcxxError("world needs at least one rank")
+        if n_nodes < 1 or ranks % n_nodes != 0:
+            raise UpcxxError(
+                "ranks must divide evenly across nodes "
+                f"(ranks={ranks}, nodes={n_nodes})"
+            )
+        self.config = config
+        self.size = ranks
+        self.n_nodes = n_nodes
+        self.ranks_per_node = ranks // n_nodes
+        self.profile: MachineProfile = profile_by_name(config.machine)
+        self.conduit_name = config.conduit
+        #: the pre-allocated shared ready cell for value-less future<>
+        self.shared_ready_cell = PromiseCell(nvalues=0, deps=0, shared=True)
+
+        self.segments = [Segment(r, segment_bytes) for r in range(ranks)]
+        self.allocators = [SharedAllocator(s) for s in self.segments]
+        self.contexts = [
+            RankContext(r, self, config, self.profile) for r in range(ranks)
+        ]
+        self.conduit: Conduit = make_conduit(config.conduit, self)
+        for ctx in self.contexts:
+            ctx.segment = self.segments[ctx.rank]
+            ctx.allocator = self.allocators[ctx.rank]
+            ctx.conduit = self.conduit
+            ctx.progress_engine.register_poller(
+                lambda c=ctx: self.conduit.poll(c)
+            )
+
+        # barrier state
+        self._barrier_epoch = 0
+        self._barrier_arrived = 0
+        self._barrier_maxclock = 0.0
+        self._barrier_release_ns = 0.0
+
+    # -- topology ----------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        if not (0 <= rank < self.size):
+            raise UpcxxError(f"rank {rank} out of range (size {self.size})")
+        return rank // self.ranks_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def segment_of(self, rank: int) -> Segment:
+        return self.segments[rank]
+
+    # -- teams --------------------------------------------------------------
+
+    def world_team(self) -> Team:
+        return Team(range(self.size))
+
+    def local_team(self, ctx: RankContext) -> Team:
+        node = self.node_of(ctx.rank)
+        return Team(
+            [r for r in range(self.size) if self.node_of(r) == node]
+        )
+
+    # -- barrier -------------------------------------------------------------
+
+    def barrier(self, ctx: RankContext) -> None:
+        """Rendezvous of all ranks; clocks synchronize to the latest
+        arrival plus the barrier cost.  Provides user-level progress while
+        waiting (as ``upcxx::barrier`` does)."""
+        ctx.charge(CostAction.BARRIER)
+        epoch = self._barrier_epoch
+        self._barrier_arrived += 1
+        self._barrier_maxclock = max(
+            self._barrier_maxclock, ctx.clock.now_ns
+        )
+        if self._barrier_arrived == self.size:
+            self._barrier_release_ns = self._barrier_maxclock
+            self._barrier_arrived = 0
+            self._barrier_maxclock = 0.0
+            self._barrier_epoch += 1
+            ctx.clock.advance_to(self._barrier_release_ns)
+            ctx.progress()
+            return
+        while self._barrier_epoch == epoch:
+            ctx.progress()
+            if self._barrier_epoch != epoch:
+                break
+            ctx.block_until(
+                lambda: self._barrier_epoch != epoch or ctx.has_incoming()
+            )
+        ctx.clock.advance_to(self._barrier_release_ns)
+
+    # -- measurement helpers ------------------------------------------------------
+
+    def max_clock_ns(self) -> float:
+        return max(c.clock.now_ns for c in self.contexts)
+
+    def total_count(self, action: CostAction) -> int:
+        return sum(c.costs.count(action) for c in self.contexts)
+
+
+def build_world(
+    config: RuntimeConfig,
+    ranks: int = 1,
+    n_nodes: int = 1,
+    segment_bytes: int = _DEFAULT_SEGMENT_BYTES,
+) -> World:
+    """Construct a world without spawning threads (rank 0's context can be
+    used directly on the calling thread — this is how the ambient
+    single-rank world works)."""
+    return World(config, ranks=ranks, n_nodes=n_nodes, segment_bytes=segment_bytes)
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one :func:`spmd_run`: per-rank return values plus the
+    world for post-mortem inspection of clocks and cost counters."""
+
+    values: list
+    world: World
+
+    def clock_ns(self, rank: int = 0) -> float:
+        return self.world.contexts[rank].clock.now_ns
+
+    def max_clock_ns(self) -> float:
+        return self.world.max_clock_ns()
+
+
+def spmd_run(
+    fn: Callable[..., Any],
+    *,
+    ranks: int = 4,
+    version: Version = Version.V2021_3_6_EAGER,
+    machine: str = "generic",
+    conduit: Optional[str] = None,
+    n_nodes: int = 1,
+    segment_bytes: int = _DEFAULT_SEGMENT_BYTES,
+    seed: int = 0,
+    flags=None,
+    noise: float = 0.0,
+    args: Sequence[Any] = (),
+) -> SpmdResult:
+    """Run ``fn(*args)`` as an SPMD program on ``ranks`` simulated ranks.
+
+    ``conduit`` defaults to the machine profile's conduit (the paper's
+    pairing: smp on Intel, udp on IBM/Marvell).  ``flags`` may override the
+    version's feature set for ablations.
+
+    Raises the first rank's exception if any rank fails (other ranks are
+    torn down), and :class:`~repro.errors.DeadlockError` if the program
+    hangs.
+    """
+    profile = profile_by_name(machine)
+    config = RuntimeConfig(
+        version=version,
+        machine=machine,
+        conduit=conduit or profile.default_conduit,
+        flags=flags,
+        seed=seed,
+        noise=noise,
+    )
+    world = World(
+        config, ranks=ranks, n_nodes=n_nodes, segment_bytes=segment_bytes
+    )
+    sched = CooperativeScheduler(ranks)
+    results: list[Any] = [None] * ranks
+    threads: list[threading.Thread] = []
+
+    def runner(rank: int) -> None:
+        ctx = world.contexts[rank]
+        ctx.scheduler = sched
+        sched.register_thread(rank)
+        try:
+            sched.wait_for_token(rank)
+        except BaseException:  # noqa: BLE001 - job tearing down before start
+            return
+        set_current_ctx(ctx)
+        try:
+            results[rank] = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - propagated to driver
+            sched.fail(rank, exc)
+            return
+        finally:
+            set_current_ctx(None)
+        sched.finish(rank)
+
+    for r in range(ranks):
+        t = threading.Thread(
+            target=runner, args=(r,), name=f"repro-rank-{r}", daemon=True
+        )
+        threads.append(t)
+        t.start()
+    sched.start()
+    for t in threads:
+        t.join()
+    err = sched.first_error()
+    if err is not None:
+        raise err
+    return SpmdResult(values=results, world=world)

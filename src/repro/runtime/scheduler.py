@@ -1,0 +1,194 @@
+"""Deterministic cooperative scheduler for simulated SPMD ranks.
+
+Each simulated rank ("process" in the paper's single-node runs) executes on
+its own OS thread, but exactly **one** rank thread runs at any moment: a
+token is passed at well-defined switch points (progress calls, blocking
+waits, barriers, rank completion).  Switch points scan ranks in round-robin
+order, so interleavings — and therefore all functional results and virtual
+clocks — are deterministic for a given program.
+
+Blocking is predicate-based: a rank blocks with a ``wake_when`` callable;
+whenever the scheduler picks the next rank to run it first re-evaluates
+blocked ranks' predicates (safe, because only the scheduler's current owner
+thread touches shared state).  If no rank is runnable and no predicate is
+true, the job is hung: a :class:`~repro.errors.DeadlockError` is raised in
+every blocked rank, mirroring a wedged SPMD job.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import DeadlockError, SchedulerError
+
+_READY = "ready"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class CooperativeScheduler:
+    """Token-passing scheduler over ``nranks`` rank threads.
+
+    The driver thread calls :meth:`start` after launching all rank threads
+    (each of which must call :meth:`register_thread` and then
+    :meth:`wait_for_token` before touching shared state), and
+    :meth:`join_error` to re-raise any rank failure.
+    """
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = nranks
+        self._tokens = [threading.Event() for _ in range(nranks)]
+        self._states = [_READY] * nranks
+        self._preds: list[Optional[Callable[[], bool]]] = [None] * nranks
+        self._threads: list[Optional[threading.Thread]] = [None] * nranks
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+        self._started = False
+
+    # -- rank-thread API ---------------------------------------------------
+
+    def register_thread(self, rank: int) -> None:
+        """Record the calling thread as the owner of ``rank``."""
+        self._threads[rank] = threading.current_thread()
+
+    def wait_for_token(self, rank: int) -> None:
+        """Block the calling rank thread until it holds the run token."""
+        self._tokens[rank].wait()
+        self._tokens[rank].clear()
+        self._raise_if_failed()
+
+    def yield_now(self, rank: int) -> None:
+        """Give every other runnable rank a chance to run, then continue.
+
+        The calling rank stays runnable; if no other rank can run, this
+        returns immediately (no self-handoff churn).
+        """
+        self._check_owner(rank)
+        nxt = self._pick_next(rank, include_self=False)
+        if nxt is None or nxt == rank:
+            return
+        self._tokens[nxt].set()
+        self.wait_for_token(rank)
+
+    def block_until(self, rank: int, wake_when: Callable[[], bool]) -> None:
+        """Block ``rank`` until ``wake_when()`` is true.
+
+        The predicate is evaluated once immediately; if already true the
+        call returns without switching.  Otherwise the token passes to the
+        next runnable rank and this thread sleeps until the scheduler finds
+        the predicate true at a later switch point.
+        """
+        self._check_owner(rank)
+        if wake_when():
+            return
+        self._states[rank] = _BLOCKED
+        self._preds[rank] = wake_when
+        nxt = self._pick_next(rank, include_self=True)
+        if nxt == rank:
+            # our own predicate turned true during the scan (it may depend
+            # on state mutated by the scan itself — conservatively re-run)
+            self._states[rank] = _READY
+            self._preds[rank] = None
+            return
+        if nxt is None:
+            self._declare_deadlock()
+        else:
+            self._tokens[nxt].set()
+        self.wait_for_token(rank)
+        # woken: predicate was observed true (or an error is propagating)
+        self._states[rank] = _READY
+        self._preds[rank] = None
+
+    def finish(self, rank: int) -> None:
+        """Mark ``rank`` complete and hand the token onward."""
+        self._check_owner(rank)
+        self._states[rank] = _DONE
+        self._preds[rank] = None
+        nxt = self._pick_next(rank, include_self=False)
+        if nxt is not None:
+            self._tokens[nxt].set()
+        elif any(s == _BLOCKED for s in self._states):
+            self._declare_deadlock()
+
+    def fail(self, rank: int, exc: BaseException) -> None:
+        """Record a rank failure and wake everyone so the job tears down."""
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self._states[rank] = _DONE
+        self._preds[rank] = None
+        for r, tok in enumerate(self._tokens):
+            if r != rank:
+                tok.set()
+
+    # -- driver API ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Hand the token to rank 0 (call once, after threads launch)."""
+        if self._started:
+            raise SchedulerError("scheduler already started")
+        self._started = True
+        self._tokens[0].set()
+
+    def first_error(self) -> Optional[BaseException]:
+        return self._error
+
+    def all_done(self) -> bool:
+        return all(s == _DONE for s in self._states)
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_owner(self, rank: int) -> None:
+        owner = self._threads[rank]
+        if owner is not None and owner is not threading.current_thread():
+            raise SchedulerError(
+                f"rank {rank} scheduler call from foreign thread "
+                f"{threading.current_thread().name!r}"
+            )
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            # Secondary ranks surface the primary failure as a deadlock-style
+            # teardown unless they themselves raised it.
+            raise DeadlockError(
+                f"SPMD job tearing down after failure: {self._error!r}"
+            ) from self._error
+
+    def _pick_next(self, me: int, *, include_self: bool) -> Optional[int]:
+        """Choose the next rank to run, scanning round-robin from ``me+1``.
+
+        Blocked ranks whose predicates now hold are promoted to ready.
+        Returns ``None`` when no rank can make progress.
+        """
+        n = self.nranks
+        order = [(me + 1 + i) % n for i in range(n)]
+        if not include_self:
+            order = [r for r in order if r != me]
+        # First pass: promote blocked ranks with true predicates.
+        for r in order:
+            if self._states[r] == _BLOCKED:
+                pred = self._preds[r]
+                if pred is not None and pred():
+                    self._states[r] = _READY
+                    self._preds[r] = None
+        for r in order:
+            if self._states[r] == _READY:
+                return r
+        return None
+
+    def _declare_deadlock(self) -> None:
+        exc = DeadlockError(
+            "all simulated ranks are blocked and no pending event can wake "
+            "any of them (states: "
+            + ", ".join(f"{i}:{s}" for i, s in enumerate(self._states))
+            + ")"
+        )
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        for tok in self._tokens:
+            tok.set()
+        raise exc

@@ -1,0 +1,37 @@
+"""Performance-model substrate: virtual clocks, cost models, machine profiles.
+
+The paper's evaluation measures nanosecond-scale CPU overheads of the UPC++
+runtime on three HPC platforms.  Those overheads are not observable from
+Python, so this package provides the substitution substrate described in
+DESIGN.md §2: every runtime-internal action charges simulated nanoseconds
+(:class:`~repro.sim.costmodel.CostModel`) onto a per-rank virtual clock
+(:class:`~repro.sim.clock.VirtualClock`), with per-architecture constants
+(:mod:`repro.sim.machines`).  Benchmarks report virtual time.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costmodel import CostAction, CostModel
+from repro.sim.machines import (
+    GENERIC,
+    IBM,
+    INTEL,
+    MARVELL,
+    MachineProfile,
+    profile_by_name,
+)
+from repro.sim.stats import SampleStats, paper_average, run_samples
+
+__all__ = [
+    "VirtualClock",
+    "CostAction",
+    "CostModel",
+    "MachineProfile",
+    "INTEL",
+    "IBM",
+    "MARVELL",
+    "GENERIC",
+    "profile_by_name",
+    "SampleStats",
+    "paper_average",
+    "run_samples",
+]

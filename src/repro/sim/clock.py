@@ -1,0 +1,62 @@
+"""Per-rank virtual clocks.
+
+Each simulated rank owns a :class:`VirtualClock` measuring nanoseconds of
+simulated execution.  Runtime actions advance the clock through
+:meth:`VirtualClock.advance`; synchronization points (barriers, AM arrival)
+use :meth:`VirtualClock.advance_to` to move a clock forward to an absolute
+time (never backward — virtual time is monotone per rank).
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotone per-rank nanosecond counter.
+
+    The clock also tracks a set of named accumulation buckets so benchmarks
+    can attribute virtual time to phases (e.g. ``"solve"`` vs ``"init"``)
+    via :meth:`window`.
+    """
+
+    __slots__ = ("now_ns", "_marks")
+
+    def __init__(self, start_ns: float = 0.0):
+        self.now_ns: float = float(start_ns)
+        self._marks: dict[str, float] = {}
+
+    def advance(self, ns: float) -> float:
+        """Advance the clock by ``ns`` nanoseconds and return the new time.
+
+        Negative advances are rejected: virtual time is monotone.
+        """
+        if ns < 0:
+            raise ValueError(f"cannot advance clock by negative time {ns}")
+        self.now_ns += ns
+        return self.now_ns
+
+    def advance_to(self, t_ns: float) -> float:
+        """Move the clock forward to absolute time ``t_ns`` if it is ahead
+        of the current time; otherwise leave the clock unchanged.
+
+        Returns the (possibly unchanged) current time.  This models waiting
+        for an event that happened at ``t_ns`` on another rank's timeline.
+        """
+        if t_ns > self.now_ns:
+            self.now_ns = t_ns
+        return self.now_ns
+
+    # -- phase marks -----------------------------------------------------
+
+    def mark(self, name: str) -> None:
+        """Record the current time under ``name`` (for elapsed queries)."""
+        self._marks[name] = self.now_ns
+
+    def elapsed_since(self, name: str) -> float:
+        """Nanoseconds elapsed since :meth:`mark` was called with ``name``."""
+        try:
+            return self.now_ns - self._marks[name]
+        except KeyError:
+            raise KeyError(f"no mark named {name!r} on this clock") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now_ns={self.now_ns!r})"

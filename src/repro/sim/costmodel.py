@@ -1,0 +1,179 @@
+"""Cost accounting for runtime-internal actions.
+
+The reproduction's core measurement device: every action the UPC++-style
+runtime performs on the critical path of a communication operation is named
+by a :class:`CostAction`, and a :class:`CostModel` charges that action's
+nanosecond cost (from a :class:`~repro.sim.machines.MachineProfile`) onto the
+calling rank's :class:`~repro.sim.clock.VirtualClock`.
+
+The action vocabulary mirrors Section II-B/III of the paper:
+
+* ``HEAP_ALLOC_PROMISE_CELL`` — the internal promise cell backing a
+  non-ready future (the cost eager notification removes);
+* ``HEAP_ALLOC_OP_DESCRIPTOR`` — the *extra* per-RMA allocation that the
+  2021.3.6 snapshot elides for directly-addressable pointers (orthogonal to
+  eager/defer, Section IV-A);
+* ``PROGRESS_QUEUE_ENQUEUE`` / ``PROGRESS_DISPATCH`` — insertion into the
+  internal progress queue and later dispatch by the progress engine;
+* ``WHEN_ALL_NODE_BUILD`` / ``DEP_GRAPH_RESOLVE_EDGE`` — construction and
+  resolution of the dynamically-discovered dependency graph (Figure 1);
+* ``LOCALITY_BRANCH`` — the dynamic ``is_local`` check (compiled away under
+  the SMP conduit in 2021.3.6, and the *single* branch added to the
+  off-node path by eager support);
+* data-movement primitives (``MEMCPY_8B``, ``CPU_ATOMIC_RMW``, …) and the
+  active-message path (``AM_INJECT``/``AM_POLL``/``AM_EXECUTE``).
+
+A :class:`CostModel` also counts how many times each action fired, which the
+tests use to assert *structural* claims (e.g. "the eager local put performs
+zero heap allocations", "the off-node path gained exactly one branch").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.clock import VirtualClock
+    from repro.sim.machines import MachineProfile
+
+
+class CostAction(enum.Enum):
+    """Named runtime-internal actions with per-machine nanosecond costs."""
+
+    # -- heap traffic ----------------------------------------------------
+    HEAP_ALLOC_PROMISE_CELL = "heap_alloc_promise_cell"
+    HEAP_ALLOC_OP_DESCRIPTOR = "heap_alloc_op_descriptor"
+    HEAP_FREE = "heap_free"
+
+    # -- progress engine ---------------------------------------------------
+    PROGRESS_QUEUE_ENQUEUE = "progress_queue_enqueue"
+    PROGRESS_DISPATCH = "progress_dispatch"
+    PROGRESS_POLL = "progress_poll"
+
+    # -- future / promise machinery --------------------------------------
+    FUTURE_READY_CHECK = "future_ready_check"
+    FUTURE_CALLBACK_SCHEDULE = "future_callback_schedule"
+    WHEN_ALL_NODE_BUILD = "when_all_node_build"
+    DEP_GRAPH_RESOLVE_EDGE = "dep_graph_resolve_edge"
+    PROMISE_REGISTER = "promise_register"
+    PROMISE_FULFILL = "promise_fulfill"
+
+    # -- pointer / dispatch ------------------------------------------------
+    LOCALITY_BRANCH = "locality_branch"
+    GPTR_DOWNCAST = "gptr_downcast"
+    RMA_CALL_OVERHEAD = "rma_call_overhead"
+    AMO_CALL_OVERHEAD = "amo_call_overhead"
+    COMPLETION_PROCESS = "completion_process"
+
+    # -- data movement -----------------------------------------------------
+    MEMCPY_8B = "memcpy_8b"
+    MEMCPY_PER_BYTE = "memcpy_per_byte"
+    CPU_ATOMIC_RMW = "cpu_atomic_rmw"
+    CPU_LOAD = "cpu_load"
+    CPU_STORE = "cpu_store"
+    #: random access into a table far larger than cache (GUPS's defining
+    #: cost; cache-hot microbenchmark loops never pay it)
+    DRAM_RANDOM_ACCESS = "dram_random_access"
+    #: coherence/fence penalty paid per co-located peer when many processes
+    #: issue atomic RMWs concurrently (why the paper's 16-process GUPS sees
+    #: atomics as far costlier than the 2-process microbenchmark does)
+    AMO_CONTENTION_PER_PEER = "amo_contention_per_peer"
+
+    # -- active messages / network ----------------------------------------
+    AM_INJECT = "am_inject"
+    AM_POLL = "am_poll"
+    AM_EXECUTE = "am_execute"
+    NETWORK_LATENCY = "network_latency"
+    RPC_SERIALIZE_PER_BYTE = "rpc_serialize_per_byte"
+
+    # -- misc ----------------------------------------------------------------
+    LPC_ENQUEUE = "lpc_enqueue"
+    BARRIER = "barrier"
+    FUNCTION_CALL = "function_call"
+
+
+class CostModel:
+    """Charges :class:`CostAction` costs onto a rank's virtual clock.
+
+    Parameters
+    ----------
+    profile:
+        The machine profile supplying per-action nanosecond costs.
+    clock:
+        The rank's virtual clock; may be swapped via :attr:`clock` when a
+        context is re-bound.
+
+    Notes
+    -----
+    Counting is always on (it is just a ``Counter`` update); it is what lets
+    tests make structural assertions independent of the tuned constants.
+    """
+
+    __slots__ = (
+        "profile", "clock", "counts", "enabled", "tracer", "_ctx",
+        "noise", "noise_rng", "noise_run_factor",
+    )
+
+    def __init__(self, profile: "MachineProfile", clock: "VirtualClock"):
+        self.profile = profile
+        self.clock = clock
+        self.counts: Counter[CostAction] = Counter()
+        self.enabled: bool = True
+        #: optional repro.sim.trace.Tracer recording the event timeline
+        self.tracer = None
+        #: back-reference set by RankContext (used only for tracing)
+        self._ctx = None
+        #: relative timing jitter (0.0 = deterministic).  Noise is
+        #: one-sided — interference (OS, other processes, coherence
+        #: traffic) only ever *adds* time — which is exactly why the
+        #: paper's estimator keeps the *best* 10 of 20 samples.
+        self.noise: float = 0.0
+        self.noise_rng = None  # seeded random.Random, set with noise
+        #: run-wide interference factor (≥ 1): co-runners/OS activity slow
+        #: a whole sample, not individual instructions.  This correlated
+        #: component is what the top-10-of-N estimator filters out.
+        self.noise_run_factor: float = 1.0
+
+    def _jitter(self, ns: float) -> float:
+        if self.noise and self.noise_rng is not None and ns > 0:
+            per_charge = 1.0 + self.noise * abs(self.noise_rng.gauss(0, 1))
+            return ns * self.noise_run_factor * per_charge
+        return ns
+
+    def charge(self, action: CostAction, times: int = 1) -> float:
+        """Charge ``times`` occurrences of ``action``; return ns charged."""
+        if not self.enabled:
+            return 0.0
+        self.counts[action] += times
+        ns = self._jitter(self.profile.cost_ns(action) * times)
+        if ns:
+            self.clock.advance(ns)
+        if self.tracer is not None and self._ctx is not None:
+            self.tracer.record(self._ctx, action, times)
+        return ns
+
+    def charge_bytes(self, action: CostAction, nbytes: int) -> float:
+        """Charge a per-byte action scaled by ``nbytes``."""
+        if not self.enabled:
+            return 0.0
+        self.counts[action] += 1
+        ns = self._jitter(self.profile.cost_ns(action) * nbytes)
+        if ns:
+            self.clock.advance(ns)
+        if self.tracer is not None and self._ctx is not None:
+            self.tracer.record(self._ctx, action, 1)
+        return ns
+
+    def count(self, action: CostAction) -> int:
+        """How many times ``action`` has been charged."""
+        return self.counts[action]
+
+    def snapshot(self) -> Counter:
+        """A copy of the current action counters (for differential checks)."""
+        return Counter(self.counts)
+
+    def reset_counts(self) -> None:
+        """Zero the action counters (clock is left untouched)."""
+        self.counts.clear()

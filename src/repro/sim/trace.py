@@ -1,0 +1,115 @@
+"""Execution tracing: an optional timeline of cost-model events.
+
+Attach a :class:`Tracer` to one or more ranks' cost models to record every
+charged action with its virtual timestamp — the simulation analogue of a
+profiler.  Used by the diagnostics in ``tools/`` and by tests that verify
+*ordering* claims (e.g. "the deferred notification's dispatch happens
+after the wait began").
+
+Tracing is off by default and costs nothing when disabled (the cost model
+checks a single attribute).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.sim.costmodel import CostAction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import RankContext
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded action occurrence."""
+
+    t_ns: float
+    rank: int
+    action: CostAction
+    times: int
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from attached rank contexts."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.events: list[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, ctx: "RankContext", action: CostAction, times: int) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                t_ns=ctx.clock.now_ns,
+                rank=ctx.rank,
+                action=action,
+                times=times,
+            )
+        )
+
+    def attach(self, ctx: "RankContext") -> None:
+        """Start recording this rank's cost-model activity."""
+        ctx.costs.tracer = self  # type: ignore[attr-defined]
+
+    def detach(self, ctx: "RankContext") -> None:
+        if getattr(ctx.costs, "tracer", None) is self:
+            ctx.costs.tracer = None  # type: ignore[attr-defined]
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(
+        self,
+        action: Optional[CostAction] = None,
+        rank: Optional[int] = None,
+    ) -> list[TraceEvent]:
+        out: Iterable[TraceEvent] = self.events
+        if action is not None:
+            out = (e for e in out if e.action is action)
+        if rank is not None:
+            out = (e for e in out if e.rank == rank)
+        return list(out)
+
+    def counts(self) -> Counter:
+        c: Counter = Counter()
+        for e in self.events:
+            c[e.action] += e.times
+        return c
+
+    def first(self, action: CostAction) -> Optional[TraceEvent]:
+        for e in self.events:
+            if e.action is action:
+                return e
+        return None
+
+    def last(self, action: CostAction) -> Optional[TraceEvent]:
+        for e in reversed(self.events):
+            if e.action is action:
+                return e
+        return None
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_timeline(self, limit: int = 50) -> str:
+        """A human-readable timeline (first ``limit`` events)."""
+        lines = ["     t/ns  rank  action"]
+        for e in self.events[:limit]:
+            lines.append(
+                f"{e.t_ns:9.1f}  {e.rank:4d}  {e.action.value}"
+                + (f" x{e.times}" if e.times != 1 else "")
+            )
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (capacity)")
+        return "\n".join(lines)

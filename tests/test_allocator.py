@@ -1,0 +1,109 @@
+"""Unit tests for the shared-heap free-list allocator."""
+
+import pytest
+
+from repro.errors import BadSharedAlloc, SegmentError
+from repro.memory.allocator import SharedAllocator
+from repro.memory.segment import Segment
+
+
+@pytest.fixture
+def alloc():
+    return SharedAllocator(Segment(0, 1024))
+
+
+class TestAllocate:
+    def test_first_allocation_at_zero(self, alloc):
+        assert alloc.allocate(8) == 0
+
+    def test_sequential_non_overlapping(self, alloc):
+        a = alloc.allocate(16)
+        b = alloc.allocate(16)
+        assert b >= a + 16
+
+    def test_rounds_up_to_8(self, alloc):
+        a = alloc.allocate(1)
+        b = alloc.allocate(1)
+        assert b - a == 8
+        assert alloc.size_of(a) == 8
+
+    def test_all_offsets_aligned(self, alloc):
+        for _ in range(10):
+            assert alloc.allocate(12) % 8 == 0
+
+    def test_exhaustion(self, alloc):
+        alloc.allocate(1000)
+        with pytest.raises(BadSharedAlloc):
+            alloc.allocate(64)
+
+    def test_exact_fill(self, alloc):
+        alloc.allocate(1024)
+        assert alloc.bytes_free() == 0
+        with pytest.raises(BadSharedAlloc):
+            alloc.allocate(8)
+
+    def test_nonpositive_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+        with pytest.raises(ValueError):
+            alloc.allocate(-8)
+
+
+class TestFree:
+    def test_free_returns_space(self, alloc):
+        off = alloc.allocate(512)
+        before = alloc.bytes_free()
+        alloc.free(off)
+        assert alloc.bytes_free() == before + 512
+
+    def test_double_free_detected(self, alloc):
+        off = alloc.allocate(8)
+        alloc.free(off)
+        with pytest.raises(SegmentError):
+            alloc.free(off)
+
+    def test_bogus_pointer_detected(self, alloc):
+        alloc.allocate(64)
+        with pytest.raises(SegmentError):
+            alloc.free(8)  # interior pointer
+
+    def test_reuse_after_free(self, alloc):
+        off = alloc.allocate(64)
+        alloc.free(off)
+        assert alloc.allocate(64) == off
+
+
+class TestCoalescing:
+    def test_adjacent_blocks_merge(self, alloc):
+        a = alloc.allocate(128)
+        b = alloc.allocate(128)
+        c = alloc.allocate(128)
+        alloc.allocate(128)  # guard so the tail free block isn't adjacent
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)  # middle: should merge with both neighbors
+        # a 384-byte allocation must fit in the coalesced hole at `a`
+        assert alloc.allocate(384) == a
+
+    def test_fragmentation_without_coalescing_would_fail(self, alloc):
+        offs = [alloc.allocate(64) for _ in range(16)]  # fill completely
+        assert alloc.bytes_free() == 0
+        for off in offs:
+            alloc.free(off)
+        # everything coalesced back into one block
+        assert alloc.allocate(1024) == 0
+
+    def test_live_accounting(self, alloc):
+        a = alloc.allocate(100)  # rounds to 104
+        assert alloc.bytes_live() == 104
+        assert alloc.live_blocks() == 1
+        alloc.free(a)
+        assert alloc.bytes_live() == 0
+        assert alloc.live_blocks() == 0
+
+    def test_owns(self, alloc):
+        a = alloc.allocate(8)
+        assert alloc.owns(a)
+        assert not alloc.owns(a + 8)
+        alloc.free(a)
+        assert not alloc.owns(a)

@@ -1,0 +1,158 @@
+"""Active-message ordering and interleaving guarantees.
+
+Handlers append to a world-attached log so that the *execution* order on
+the target is observed (closures capture objects from the sending rank,
+but run on the target's thread inside its progress engine).
+"""
+
+from repro import barrier, progress, rank_me, rpc_ff
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+
+
+def world_log():
+    w = current_ctx().world
+    if not hasattr(w, "_am_log"):
+        w._am_log = []
+    return w._am_log
+
+
+class TestPairwiseOrdering:
+    def test_single_sender_fifo(self):
+        """Messages from one sender to one target execute in send order."""
+
+        def body():
+            log = world_log()
+            barrier()
+            if rank_me() == 0:
+                for i in range(10):
+                    rpc_ff(1, lambda i=i: world_log().append(i))
+            barrier()
+            progress()
+            barrier()
+            return list(log)
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[0] == list(range(10))
+
+    def test_multiple_senders_interleave_deterministically(self):
+        """With several senders the merge order is deterministic (token
+        round-robin), and per-sender order is preserved."""
+
+        def body():
+            log = world_log()
+            barrier()
+            if rank_me() != 2:
+                for i in range(3):
+                    rpc_ff(
+                        2,
+                        lambda me=rank_me(), i=i: world_log().append((me, i)),
+                    )
+            barrier()
+            progress()
+            barrier()
+            return list(log)
+
+        a = spmd_run(body, ranks=3)
+        b = spmd_run(body, ranks=3)
+        merged = a.values[2]
+        assert len(merged) == 6
+        assert merged == b.values[2]  # deterministic merge
+        for sender in (0, 1):
+            seq = [i for s, i in merged if s == sender]
+            assert seq == [0, 1, 2]  # per-sender FIFO
+
+    def test_progress_inside_handler_does_not_reorder(self):
+        """An AM handler calling progress() must not steal later AMs out
+        of order (re-entrant progress is a no-op)."""
+
+        def body():
+            barrier()
+            if rank_me() == 0:
+                def first():
+                    world_log().append("first")
+                    progress()  # re-entrant: must not run 'second' now
+                    world_log().append("first-end")
+
+                rpc_ff(1, first)
+                rpc_ff(1, lambda: world_log().append("second"))
+            barrier()
+            progress()
+            barrier()
+            return list(world_log())
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[1] == ["first", "first-end", "second"]
+
+
+class TestCausality:
+    def test_reply_never_beats_request(self):
+        """A→B request then B→A reply: A cannot observe the reply at a
+        virtual time earlier than B processed the request."""
+
+        def body():
+            ctx = current_ctx()
+            barrier()
+            if rank_me() == 0:
+                from repro import rpc
+
+                fut = rpc(1, lambda: current_ctx().clock.now_ns)
+                served_at = fut.wait()
+                barrier()
+                return {
+                    "reply_seen": ctx.clock.now_ns,
+                    "served_at": served_at,
+                }
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=2)
+        t = res.values[0]
+        assert t["reply_seen"] >= t["served_at"]
+
+    def test_forwarded_message_chain(self):
+        """0→1→2 forwarding arrives exactly once after both hops."""
+
+        def body():
+            barrier()
+            if rank_me() == 0:
+                rpc_ff(
+                    1,
+                    lambda: rpc_ff(
+                        2, lambda: world_log().append("relayed")
+                    ),
+                )
+            for _ in range(3):
+                barrier()
+                progress()
+            barrier()
+            return list(world_log())
+
+        res = spmd_run(body, ranks=3)
+        assert res.values[2] == ["relayed"]
+
+    def test_handler_timestamps_monotone_per_target(self):
+        """AM executions on one target happen at nondecreasing virtual
+        times even when senders' clocks are skewed."""
+
+        def body():
+            ctx = current_ctx()
+            barrier()
+            if rank_me() == 1:
+                ctx.clock.advance(50_000)  # a fast-forwarded sender
+            if rank_me() != 2:
+                rpc_ff(
+                    2,
+                    lambda: world_log().append(
+                        current_ctx().clock.now_ns
+                    ),
+                )
+            barrier()
+            progress()
+            barrier()
+            return list(world_log())
+
+        res = spmd_run(body, ranks=3)
+        stamps = res.values[2]
+        assert len(stamps) == 2
+        assert stamps == sorted(stamps)

@@ -1,0 +1,60 @@
+"""Tests for the off-node bandwidth term."""
+
+import pytest
+
+from repro import barrier, new_array, progress, rank_me, rput_bulk
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import build_world, spmd_run
+
+
+class TestLatencyModel:
+    def test_payload_extends_offnode_latency(self):
+        w = build_world(RuntimeConfig(conduit="ibv"), ranks=2, n_nodes=2)
+        small = w.conduit.am_latency_ns(0, 1, nbytes=8)
+        large = w.conduit.am_latency_ns(0, 1, nbytes=1 << 20)
+        assert large > small
+        # 1 MiB at 12.5 B/ns ≈ 83886 ns of serialization
+        assert large - small == pytest.approx(((1 << 20) - 8) / 12.5, rel=0.01)
+
+    def test_onnode_latency_payload_free(self):
+        w = build_world(RuntimeConfig(conduit="udp"), ranks=2)
+        assert w.conduit.am_latency_ns(0, 1, 0) == w.conduit.am_latency_ns(
+            0, 1, 1 << 20
+        )
+
+    def test_zero_bytes_is_base_latency(self):
+        w = build_world(RuntimeConfig(conduit="ibv"), ranks=2, n_nodes=2)
+        assert w.conduit.am_latency_ns(0, 1) == (
+            w.profile.network_latency_ns
+        )
+
+
+class TestEndToEnd:
+    def test_bulk_offnode_put_scales_with_size(self):
+        def body(count):
+            ctx = current_ctx()
+            g = new_array("u64", 1 << 12)
+            barrier()
+            if rank_me() == 0:
+                remote = GlobalPtr(1, g.offset, g.ts)
+                t0 = ctx.clock.now_ns
+                rput_bulk([1] * count, remote).wait()
+                dt = ctx.clock.now_ns - t0
+                ctx.world._bw_done = True
+                barrier()
+                return dt
+            while not getattr(ctx.world, "_bw_done", False):
+                progress()
+                ctx.yield_to_others()
+            barrier()
+            return None
+
+        t_small = spmd_run(
+            lambda: body(8), ranks=2, n_nodes=2, conduit="ibv"
+        ).values[0]
+        t_large = spmd_run(
+            lambda: body(4000), ranks=2, n_nodes=2, conduit="ibv"
+        ).values[0]
+        assert t_large > t_small + 1000  # the 32KB payload costs real time

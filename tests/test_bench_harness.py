@@ -1,0 +1,76 @@
+"""Tests for the benchmark harness (small sizes — the full grids live in
+benchmarks/)."""
+
+import pytest
+
+from repro.bench.harness import (
+    MICRO_OPS,
+    gups_grid,
+    graph_localities,
+    micro_grid,
+    offnode_grid,
+    run_micro,
+)
+from repro.runtime.config import Version
+
+V0 = Version.V2021_3_0
+VD = Version.V2021_3_6_DEFER
+VE = Version.V2021_3_6_EAGER
+
+
+class TestRunMicro:
+    def test_returns_per_op_time(self):
+        r = run_micro("put", VE, "generic", n_ops=20, n_samples=1)
+        assert r.ns_per_op > 0
+        assert r.op == "put" and r.n_ops == 20
+
+    def test_fadd_nv_missing_on_legacy(self):
+        assert run_micro("fadd_nv", V0, "generic", n_ops=5) is None
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            run_micro("swap", VE, "generic", n_ops=5)
+
+    def test_deterministic_across_samples(self):
+        a = run_micro("put", VE, "generic", n_ops=20, n_samples=1)
+        b = run_micro("put", VE, "generic", n_ops=20, n_samples=3)
+        assert a.ns_per_op == pytest.approx(b.ns_per_op)
+
+    @pytest.mark.parametrize("op", MICRO_OPS)
+    def test_every_op_runs(self, op):
+        r = run_micro(op, VE, "generic", n_ops=10, n_samples=1)
+        assert r is not None and r.ns_per_op > 0
+
+
+class TestGrids:
+    def test_micro_grid_complete(self):
+        grid = micro_grid("generic", ops=("put", "fadd_nv"), n_ops=10,
+                          n_samples=1)
+        assert len(grid) == 6
+        assert grid[("fadd_nv", V0)] is None
+        assert grid[("put", VE)].ns_per_op > 0
+
+    def test_gups_grid_small(self):
+        grid = gups_grid(
+            "generic",
+            ranks=2,
+            variants=("manual", "amo_promise"),
+            table_log2=9,
+            updates_per_rank=16,
+            batch=8,
+        )
+        assert len(grid) == 6
+        assert grid[("amo_promise", VE)].matches_oracle
+
+    def test_graph_localities_all_inputs(self):
+        loc = graph_localities(ranks=4, scale=1)
+        assert set(loc) == {
+            "channel", "venturi", "random", "delaunay", "youtube"
+        }
+        for v in loc.values():
+            assert 0 <= v["cross_rank"] <= 1
+
+    def test_offnode_grid(self):
+        grid = offnode_grid("generic", ops=("put",), n_ops=5)
+        assert grid[("put", VD)] > 0
+        assert grid[("put", VE)] >= grid[("put", VD)]

@@ -1,0 +1,169 @@
+"""Unit tests for the promise-cell state machine and allocation factories."""
+
+import pytest
+
+from repro.core.cell import (
+    PromiseCell,
+    alloc_cell,
+    ready_cell,
+    ready_unit_cell,
+)
+from repro.errors import FutureError, PromiseError
+from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
+
+
+class TestStateMachine:
+    def test_fresh_cell_not_ready(self):
+        assert not PromiseCell(deps=1).ready
+
+    def test_zero_deps_valueless_is_ready(self):
+        assert PromiseCell(nvalues=0, deps=0).ready
+
+    def test_fulfill_readies(self):
+        c = PromiseCell(deps=1)
+        assert c.fulfill() is True
+        assert c.ready
+
+    def test_partial_fulfill_not_ready(self):
+        c = PromiseCell(deps=3)
+        assert c.fulfill() is False
+        assert c.fulfill() is False
+        assert not c.ready
+        assert c.fulfill() is True
+
+    def test_fulfill_many_at_once(self):
+        c = PromiseCell(deps=5)
+        c.fulfill(5)
+        assert c.ready
+
+    def test_over_fulfillment_rejected(self):
+        c = PromiseCell(deps=1)
+        c.fulfill()
+        with pytest.raises(PromiseError):
+            c.fulfill()
+
+    def test_negative_fulfill_rejected(self):
+        with pytest.raises(PromiseError):
+            PromiseCell(deps=1).fulfill(-1)
+
+    def test_zero_fulfill_noop(self):
+        c = PromiseCell(deps=1)
+        assert c.fulfill(0) is False
+
+    def test_add_deps(self):
+        c = PromiseCell(deps=1)
+        c.add_deps(2)
+        c.fulfill(2)
+        assert not c.ready
+        c.fulfill()
+        assert c.ready
+
+    def test_add_deps_to_ready_rejected(self):
+        c = PromiseCell(deps=0)
+        with pytest.raises(PromiseError):
+            c.add_deps(1)
+
+    def test_negative_initial_deps_rejected(self):
+        with pytest.raises(PromiseError):
+            PromiseCell(deps=-1)
+
+
+class TestValues:
+    def test_value_cell_needs_values_to_ready(self):
+        c = PromiseCell(nvalues=1, deps=1)
+        with pytest.raises(PromiseError):
+            c.fulfill()
+
+    def test_set_values_then_fulfill(self):
+        c = PromiseCell(nvalues=2, deps=1)
+        c.set_values((1, 2))
+        c.fulfill()
+        assert c.result_tuple() == (1, 2)
+
+    def test_wrong_arity_rejected(self):
+        c = PromiseCell(nvalues=2, deps=1)
+        with pytest.raises(PromiseError):
+            c.set_values((1,))
+
+    def test_double_set_rejected(self):
+        c = PromiseCell(nvalues=1, deps=1)
+        c.set_values((1,))
+        with pytest.raises(PromiseError):
+            c.set_values((2,))
+
+    def test_result_of_nonready_rejected(self):
+        with pytest.raises(FutureError):
+            PromiseCell(deps=1).result_tuple()
+
+
+class TestCallbacks:
+    def test_callback_fires_on_ready(self):
+        c = PromiseCell(nvalues=1, deps=1)
+        got = []
+        c.add_callback(got.append)
+        c.set_values((42,))
+        c.fulfill()
+        assert got == [(42,)]
+
+    def test_callback_on_already_ready_runs_immediately(self):
+        c = PromiseCell(deps=0)
+        got = []
+        c.add_callback(got.append)
+        assert got == [()]
+
+    def test_multiple_callbacks_in_order(self):
+        c = PromiseCell(deps=1)
+        order = []
+        c.add_callback(lambda _: order.append("a"))
+        c.add_callback(lambda _: order.append("b"))
+        c.fulfill()
+        assert order == ["a", "b"]
+
+    def test_callbacks_fire_once(self):
+        c = PromiseCell(deps=2)
+        count = []
+        c.add_callback(lambda _: count.append(1))
+        c.fulfill()
+        c.fulfill()
+        assert len(count) == 1
+
+
+class TestSharedCell:
+    def test_shared_cell_immutable(self):
+        c = PromiseCell(deps=0, shared=True)
+        with pytest.raises(PromiseError):
+            c.fulfill()
+        with pytest.raises(PromiseError):
+            c.add_deps(1)
+        with pytest.raises(PromiseError):
+            c.set_values(())
+
+
+class TestFactories:
+    def test_alloc_cell_charges(self, ctx):
+        before = ctx.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        alloc_cell(ctx)
+        assert ctx.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before + 1
+        assert ctx.costs.count(CostAction.HEAP_FREE) >= 1
+
+    def test_ready_cell_holds_values_and_charges(self, ctx):
+        before = ctx.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        c = ready_cell(ctx, (7, 8))
+        assert c.ready and c.result_tuple() == (7, 8)
+        assert ctx.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before + 1
+
+    def test_ready_unit_cell_uses_shared_cell_on_36(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        before = c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        cell = ready_unit_cell(c)
+        assert cell is c.world.shared_ready_cell
+        assert c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before
+
+    def test_ready_unit_cell_allocates_on_2021_3_0(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_0)
+        before = c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        cell = ready_unit_cell(c)
+        assert cell is not c.world.shared_ready_cell
+        assert cell.ready
+        assert c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before + 1

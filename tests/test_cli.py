@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro.bench`` command-line figure runner."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import build_parser, main
+
+
+def run_cli(*args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    return proc
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_micro_defaults(self):
+        args = build_parser().parse_args(["micro"])
+        assert args.machine == "intel"
+        assert args.ops == 150
+
+    def test_machine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["micro", "--machine", "cray"])
+
+    def test_gups_options(self):
+        args = build_parser().parse_args(
+            ["gups", "--machine", "ibm", "--ranks", "4", "--updates", "8"]
+        )
+        assert (args.machine, args.ranks, args.updates) == ("ibm", 4, 8)
+
+
+class TestInProcess:
+    def test_micro_prints_figure(self, capsys):
+        main(["micro", "--machine", "intel", "--ops", "20",
+              "--samples", "1"])
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "eager speedup" in out
+
+    def test_gups_prints_figure(self, capsys):
+        main(["gups", "--machine", "marvell", "--ranks", "4",
+              "--table-log2", "10", "--updates", "16", "--batch", "8"])
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "rma_future" in out
+
+    def test_offnode(self, capsys):
+        main(["offnode", "--ops", "5"])
+        out = capsys.readouterr().out
+        assert "Off-node" in out
+        assert "delta" in out
+
+    def test_matching_small(self, capsys):
+        main(["matching", "--ranks", "2", "--scale", "1"])
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "youtube" in out
+
+
+class TestSubprocess:
+    def test_help(self):
+        proc = run_cli("--help")
+        assert proc.returncode == 0
+        assert "micro" in proc.stdout and "matching" in proc.stdout
+
+    def test_micro_subprocess(self):
+        proc = run_cli("micro", "--machine", "ibm", "--ops", "20",
+                       "--samples", "1")
+        assert proc.returncode == 0
+        assert "Figure 3" in proc.stdout

@@ -1,0 +1,69 @@
+"""Unit tests for the per-rank virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(25.0).now_ns == 25.0
+
+    def test_advance_accumulates(self):
+        c = VirtualClock()
+        c.advance(10)
+        c.advance(5.5)
+        assert c.now_ns == 15.5
+
+    def test_advance_returns_new_time(self):
+        c = VirtualClock(2)
+        assert c.advance(3) == 5.0
+
+    def test_zero_advance_allowed(self):
+        c = VirtualClock()
+        c.advance(0)
+        assert c.now_ns == 0.0
+
+    def test_negative_advance_rejected(self):
+        c = VirtualClock()
+        with pytest.raises(ValueError):
+            c.advance(-1)
+
+
+class TestAdvanceTo:
+    def test_moves_forward(self):
+        c = VirtualClock(10)
+        assert c.advance_to(50) == 50.0
+
+    def test_never_moves_backward(self):
+        c = VirtualClock(100)
+        assert c.advance_to(50) == 100.0
+        assert c.now_ns == 100.0
+
+    def test_equal_time_is_noop(self):
+        c = VirtualClock(7)
+        assert c.advance_to(7) == 7.0
+
+
+class TestMarks:
+    def test_elapsed_since(self):
+        c = VirtualClock()
+        c.advance(5)
+        c.mark("phase")
+        c.advance(12)
+        assert c.elapsed_since("phase") == 12.0
+
+    def test_mark_overwrite(self):
+        c = VirtualClock()
+        c.mark("m")
+        c.advance(4)
+        c.mark("m")
+        c.advance(6)
+        assert c.elapsed_since("m") == 6.0
+
+    def test_unknown_mark_raises(self):
+        with pytest.raises(KeyError):
+            VirtualClock().elapsed_since("nope")

@@ -1,0 +1,210 @@
+"""Tests for the future-returning collectives."""
+
+import pytest
+
+from repro import (
+    barrier,
+    barrier_async,
+    broadcast,
+    rank_me,
+    rank_n,
+    reduce_all,
+    reduce_one,
+)
+from repro.coll.collectives import REDUCTION_OPS
+from repro.errors import UpcxxError
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+from tests.conftest import ALL_VERSIONS
+
+
+class TestBroadcast:
+    def test_value_reaches_everyone(self):
+        def body():
+            v = "the payload" if rank_me() == 1 else None
+            return broadcast(v, 1).wait()
+
+        res = spmd_run(body, ranks=4)
+        assert res.values == ["the payload"] * 4
+
+    def test_root_future_ready_immediately(self):
+        def body():
+            f = broadcast(rank_me(), 0)
+            ready_now = f.is_ready() if rank_me() == 0 else None
+            f.wait()
+            barrier()
+            return ready_now
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[0] is True
+
+    def test_sequence_matching(self):
+        """Back-to-back broadcasts match by call order."""
+
+        def body():
+            a = broadcast("A" if rank_me() == 0 else None, 0)
+            b = broadcast("B" if rank_me() == 1 else None, 1)
+            return (a.wait(), b.wait())
+
+        res = spmd_run(body, ranks=3)
+        assert all(v == ("A", "B") for v in res.values)
+
+    def test_root_out_of_range(self, ctx):
+        with pytest.raises(UpcxxError):
+            broadcast(1, 5)
+
+    def test_root_mismatch_detected(self):
+        def body():
+            broadcast(0, rank_me()).wait()  # different roots: illegal
+
+        with pytest.raises(UpcxxError, match="mismatch"):
+            spmd_run(body, ranks=2)
+
+    @pytest.mark.parametrize("version", ALL_VERSIONS)
+    def test_works_on_every_build(self, version):
+        def body():
+            return broadcast(42 if rank_me() == 0 else None, 0).wait()
+
+        res = spmd_run(body, ranks=3, version=version)
+        assert res.values == [42] * 3
+
+    def test_complex_payload(self):
+        def body():
+            payload = {"a": [1, 2], "b": (3,)} if rank_me() == 0 else None
+            return broadcast(payload, 0).wait()
+
+        res = spmd_run(body, ranks=2)
+        assert res.values == [{"a": [1, 2], "b": (3,)}] * 2
+
+
+class TestReduceOne:
+    def test_sum_at_root(self):
+        def body():
+            f = reduce_one(rank_me() + 1, "add", 0)
+            out = f.wait()
+            barrier()
+            return out
+
+        res = spmd_run(body, ranks=4)
+        assert res.values[0] == 10
+        assert all(v is None for v in res.values[1:])
+
+    def test_nonzero_root(self):
+        def body():
+            out = reduce_one(rank_me(), "max", 2).wait()
+            barrier()
+            return out
+
+        res = spmd_run(body, ranks=3)
+        assert res.values[2] == 2
+
+    def test_callable_op(self):
+        def body():
+            out = reduce_one([rank_me()], lambda a, b: a + b, 0).wait()
+            barrier()
+            return out
+
+        res = spmd_run(body, ranks=3)
+        assert sorted(res.values[0]) == [0, 1, 2]
+
+    def test_unknown_op(self, ctx):
+        with pytest.raises(UpcxxError):
+            reduce_one(1, "median", 0)
+
+    def test_single_rank(self):
+        def body():
+            return reduce_one(5, "add", 0).wait()
+
+        assert spmd_run(body, ranks=1).values == [5]
+
+    @pytest.mark.parametrize(
+        "op,values,expected",
+        [
+            ("add", [1, 2, 3, 4], 10),
+            ("mul", [1, 2, 3, 4], 24),
+            ("min", [5, 2, 9, 4], 2),
+            ("max", [5, 2, 9, 4], 9),
+            ("bit_or", [1, 2, 4, 8], 15),
+            ("bit_and", [7, 5, 13, 15], 5),
+            ("bit_xor", [1, 3, 5, 7], 0),
+        ],
+    )
+    def test_every_named_op(self, op, values, expected):
+        def body():
+            out = reduce_one(values[rank_me()], op, 0).wait()
+            barrier()
+            return out
+
+        res = spmd_run(body, ranks=4)
+        assert res.values[0] == expected
+
+    def test_ops_table_complete(self):
+        assert set(REDUCTION_OPS) == {
+            "add", "mul", "min", "max", "bit_and", "bit_or", "bit_xor"
+        }
+
+
+class TestReduceAll:
+    def test_everyone_gets_result(self):
+        def body():
+            return reduce_all(rank_me() + 1, "add").wait()
+
+        res = spmd_run(body, ranks=5)
+        assert res.values == [15] * 5
+
+    def test_max(self):
+        def body():
+            return reduce_all(rank_me() * 7 % 5, "max").wait()
+
+        res = spmd_run(body, ranks=4)
+        assert len(set(res.values)) == 1
+
+    def test_repeated_reductions(self):
+        def body():
+            a = reduce_all(1, "add").wait()
+            b = reduce_all(rank_me(), "max").wait()
+            return (a, b)
+
+        res = spmd_run(body, ranks=3)
+        assert all(v == (3, 2) for v in res.values)
+
+
+class TestBarrierAsync:
+    def test_completes(self):
+        def body():
+            f = barrier_async()
+            f.wait()
+            return "past"
+
+        assert spmd_run(body, ranks=4).values == ["past"] * 4
+
+    def test_overlap_with_work(self):
+        """Work can be overlapped between initiation and wait."""
+
+        def body():
+            ctx = current_ctx()
+            f = barrier_async()
+            t0 = ctx.clock.now_ns
+            ctx.clock.advance(100.0)  # overlapped "compute"
+            f.wait()
+            return ctx.clock.now_ns >= t0 + 100.0
+
+        res = spmd_run(body, ranks=3)
+        assert all(res.values)
+
+    def test_not_ready_until_all_arrive(self):
+        def body():
+            ctx = current_ctx()
+            f = barrier_async()
+            if rank_me() == 0:
+                # nobody else has called progress yet; with more ranks the
+                # async barrier cannot be complete at initiation
+                early = f.is_ready() if rank_n() > 1 else True
+            else:
+                early = None
+            f.wait()
+            barrier()
+            return early
+
+        res = spmd_run(body, ranks=3)
+        assert res.values[0] is False

@@ -1,0 +1,244 @@
+"""Unit tests for the completions DSL and the eager/deferred dispatcher."""
+
+import pytest
+
+from repro.core.completions import (
+    Completions,
+    CxDispatcher,
+    operation_cx,
+    remote_cx,
+    source_cx,
+)
+from repro.core.events import Event
+from repro.core.promise import Promise
+from repro.errors import CompletionError
+from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
+
+ALL = frozenset({Event.SOURCE, Event.REMOTE, Event.OPERATION})
+
+
+class TestDsl:
+    def test_factories_tag_events(self):
+        assert operation_cx.as_future().requests[0].event is Event.OPERATION
+        assert source_cx.as_future().requests[0].event is Event.SOURCE
+
+    def test_composition_preserves_order(self):
+        comps = source_cx.as_future() | operation_cx.as_future()
+        assert [r.event for r in comps.requests] == [
+            Event.SOURCE,
+            Event.OPERATION,
+        ]
+        assert len(comps) == 2
+
+    def test_eagerness_tags(self):
+        assert operation_cx.as_future().requests[0].eagerness == "default"
+        assert (
+            operation_cx.as_eager_future().requests[0].eagerness == "eager"
+        )
+        assert (
+            operation_cx.as_defer_future().requests[0].eagerness == "defer"
+        )
+
+    def test_promise_factories(self, ctx):
+        p = Promise()
+        req = operation_cx.as_promise(p).requests[0]
+        assert req.kind == "promise" and req.promise is p
+
+    def test_rpc_only_on_remote(self):
+        with pytest.raises(CompletionError):
+            operation_cx.as_rpc(lambda: None)
+        assert remote_cx.as_rpc(lambda: None).requests[0].kind == "rpc"
+
+    def test_lpc_not_on_remote(self):
+        with pytest.raises(CompletionError):
+            remote_cx.as_lpc(lambda: None)
+
+    def test_by_event(self):
+        comps = (
+            source_cx.as_future()
+            | operation_cx.as_future()
+            | operation_cx.as_defer_future()
+        )
+        assert len(comps.by_event(Event.OPERATION)) == 2
+
+    def test_describe(self):
+        assert (
+            operation_cx.as_eager_future().requests[0].describe()
+            == "operation_cx::as_eager_future"
+        )
+
+
+class TestValidation:
+    def test_unsupported_event_rejected(self, ctx):
+        with pytest.raises(CompletionError):
+            CxDispatcher(
+                ctx,
+                remote_cx.as_rpc(lambda: None),
+                supported=frozenset({Event.OPERATION}),
+                op_name="rget",
+            )
+
+    def test_explicit_factories_need_36(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_0)
+        with pytest.raises(CompletionError):
+            CxDispatcher(
+                c, operation_cx.as_eager_future(), supported=ALL
+            )
+        with pytest.raises(CompletionError):
+            CxDispatcher(
+                c, operation_cx.as_defer_future(), supported=ALL
+            )
+
+    def test_default_factories_work_everywhere(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_0)
+        CxDispatcher(c, operation_cx.as_future(), supported=ALL)
+
+
+class TestSyncDispatch:
+    def test_eager_future_is_ready(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        d = CxDispatcher(c, operation_cx.as_future(), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        fut = d.result()
+        assert fut.is_ready()
+
+    def test_defer_future_waits_for_progress(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        d = CxDispatcher(c, operation_cx.as_future(), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        fut = d.result()
+        assert not fut.is_ready()
+        c.progress()
+        assert fut.is_ready()
+
+    def test_explicit_defer_wins_on_eager_build(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        d = CxDispatcher(c, operation_cx.as_defer_future(), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        assert not d.result().is_ready()
+        c.progress()
+        assert d.result().is_ready()
+
+    def test_explicit_eager_wins_on_defer_build(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        d = CxDispatcher(c, operation_cx.as_eager_future(), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        assert d.result().is_ready()
+
+    def test_eager_promise_untouched(self, versioned_ctx):
+        """§III-A: eager notification elides all promise modification."""
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        p = Promise()
+        r0 = c.costs.count(CostAction.PROMISE_REGISTER)
+        d = CxDispatcher(c, operation_cx.as_promise(p), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        assert c.costs.count(CostAction.PROMISE_REGISTER) == r0
+        assert p.finalize().is_ready()
+
+    def test_defer_promise_registered_and_fulfilled(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        p = Promise()
+        d = CxDispatcher(c, operation_cx.as_promise(p), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        f = p.finalize()
+        assert not f.is_ready()
+        c.progress()
+        assert f.is_ready()
+
+    def test_values_delivered_on_value_event(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        d = CxDispatcher(
+            c,
+            operation_cx.as_future(),
+            supported=ALL,
+            value_event=Event.OPERATION,
+            nvalues=1,
+        )
+        d.notify_sync(Event.OPERATION, (5,))
+        assert d.result().result() == 5
+
+    def test_values_not_delivered_to_other_events(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        d = CxDispatcher(
+            c,
+            source_cx.as_future() | operation_cx.as_future(),
+            supported=ALL,
+            value_event=Event.OPERATION,
+            nvalues=1,
+        )
+        d.notify_sync(Event.SOURCE, (5,))
+        d.notify_sync(Event.OPERATION, (5,))
+        src, op = d.result()
+        assert src.nvalues == 0
+        assert op.result() == 5
+
+    def test_lpc_runs_in_progress(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        ran = []
+        d = CxDispatcher(
+            c,
+            operation_cx.as_lpc(ran.append, 1),
+            supported=ALL,
+        )
+        d.notify_sync(Event.OPERATION)
+        assert ran == []
+        c.progress()
+        assert ran == [1]
+
+    def test_result_shapes(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        # no futures requested → None
+        p = Promise()
+        d = CxDispatcher(c, operation_cx.as_promise(p), supported=ALL)
+        d.notify_sync(Event.OPERATION)
+        assert d.result() is None
+        # two futures → tuple in composition order (source, operation)
+        d = CxDispatcher(
+            c,
+            source_cx.as_future() | operation_cx.as_future(),
+            supported=ALL,
+        )
+        d.notify_sync(Event.SOURCE)
+        d.notify_sync(Event.OPERATION)
+        out = d.result()
+        assert isinstance(out, tuple) and len(out) == 2
+
+
+class TestPendDispatch:
+    def test_pend_completes_later(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        d = CxDispatcher(
+            c,
+            operation_cx.as_future(),
+            supported=ALL,
+            value_event=Event.OPERATION,
+            nvalues=1,
+        )
+        pend = d.pend(Event.OPERATION)
+        fut = d.result()
+        assert not fut.is_ready()
+        pend.complete((11,))
+        assert fut.result() == 11
+
+    def test_pend_promise(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        p = Promise()
+        d = CxDispatcher(c, operation_cx.as_promise(p), supported=ALL)
+        pend = d.pend(Event.OPERATION)
+        f = p.finalize()
+        assert not f.is_ready()
+        pend.complete()
+        assert f.is_ready()
+
+    def test_any_deferred(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        d = CxDispatcher(c, operation_cx.as_future(), supported=ALL)
+        assert not d.any_deferred()
+        d2 = CxDispatcher(
+            c, operation_cx.as_defer_future(), supported=ALL
+        )
+        assert d2.any_deferred()
+        c2 = versioned_ctx(Version.V2021_3_6_DEFER)
+        d3 = CxDispatcher(c2, operation_cx.as_future(), supported=ALL)
+        assert d3.any_deferred()

@@ -1,0 +1,169 @@
+"""Unit tests for conduits, active messages, and teams."""
+
+import pytest
+
+from repro.errors import UpcxxError
+from repro.gasnet.conduit import CONDUIT_NAMES, make_conduit
+from repro.gasnet.team import Team
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import build_world, spmd_run
+
+
+def two_rank_world(conduit="smp", n_nodes=1):
+    return build_world(
+        RuntimeConfig(conduit=conduit), ranks=2, n_nodes=n_nodes
+    )
+
+
+class TestConduitConstruction:
+    def test_known_names(self):
+        w = two_rank_world()
+        for name in CONDUIT_NAMES:
+            if name == "smp":
+                make_conduit(name, w)
+
+    def test_unknown_name_rejected(self):
+        w = two_rank_world()
+        with pytest.raises(UpcxxError):
+            make_conduit("carrier-pigeon", w)
+
+    def test_pshm_reachability_single_node(self):
+        w = two_rank_world(conduit="udp")
+        assert w.conduit.pshm_reachable(0, 1)
+
+    def test_pshm_reachability_two_nodes(self):
+        w = build_world(RuntimeConfig(conduit="udp"), ranks=4, n_nodes=2)
+        assert w.conduit.pshm_reachable(0, 1)
+        assert not w.conduit.pshm_reachable(0, 2)
+
+    def test_offnode_latency_ordering(self):
+        """UDP sockets are far slower than MPI, which is slower than ibv."""
+        lat = {}
+        for name in ("udp", "mpi", "ibv"):
+            w = build_world(
+                RuntimeConfig(conduit=name), ranks=4, n_nodes=2
+            )
+            lat[name] = w.conduit.am_latency_ns(0, 2)
+        assert lat["udp"] > lat["mpi"] > lat["ibv"]
+
+    def test_onnode_latency_small(self):
+        w = build_world(RuntimeConfig(conduit="udp"), ranks=4, n_nodes=2)
+        assert w.conduit.am_latency_ns(0, 1) < w.conduit.am_latency_ns(0, 2)
+
+
+class TestAmDelivery:
+    def test_am_roundtrip(self):
+        w = two_rank_world()
+        ctx0, ctx1 = w.contexts
+        got = []
+        w.conduit.send_am(ctx0, 1, lambda tctx, x: got.append(x), (42,))
+        assert w.conduit.has_incoming(1)
+        assert not w.conduit.has_incoming(0)
+        ctx1.progress()
+        assert got == [42]
+        assert not w.conduit.has_incoming(1)
+
+    def test_am_to_self(self):
+        w = two_rank_world()
+        ctx0 = w.contexts[0]
+        got = []
+        w.conduit.send_am(ctx0, 0, lambda tctx: got.append("self"))
+        ctx0.progress()
+        assert got == ["self"]
+
+    def test_am_ordering_preserved(self):
+        w = two_rank_world()
+        ctx0, ctx1 = w.contexts
+        got = []
+        for i in range(5):
+            w.conduit.send_am(ctx0, 1, lambda t, i=i: got.append(i))
+        ctx1.progress()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_arrival_advances_receiver_clock(self):
+        w = two_rank_world()
+        ctx0, ctx1 = w.contexts
+        ctx0.clock.advance(10_000)
+        w.conduit.send_am(ctx0, 1, lambda t: None)
+        assert ctx1.clock.now_ns < 10_000
+        ctx1.progress()
+        assert ctx1.clock.now_ns >= 10_000  # causality
+
+    def test_invalid_rank_rejected(self):
+        w = two_rank_world()
+        with pytest.raises(UpcxxError):
+            w.conduit.send_am(w.contexts[0], 7, lambda t: None)
+
+    def test_handler_runs_on_target_context(self):
+        w = two_rank_world()
+        seen = []
+        w.conduit.send_am(
+            w.contexts[0], 1, lambda tctx: seen.append(tctx.rank)
+        )
+        w.contexts[1].progress()
+        assert seen == [1]
+
+
+class TestTeam:
+    def test_translation(self):
+        t = Team([3, 5, 9])
+        assert t.rank_n() == 3
+        assert t.to_world(1) == 5
+        assert t.from_world(9) == 2
+
+    def test_contains(self):
+        t = Team([0, 2])
+        assert t.contains(2) and not t.contains(1)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(UpcxxError):
+            Team([1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(UpcxxError):
+            Team([])
+
+    def test_out_of_range_translation(self):
+        t = Team([0, 1])
+        with pytest.raises(UpcxxError):
+            t.to_world(2)
+        with pytest.raises(UpcxxError):
+            t.from_world(5)
+
+    def test_split_by(self):
+        t = Team(range(6))
+        mapping = {r: (r % 2, r) for r in range(6)}
+        evens = t.split_by(mapping, 0)
+        odds = t.split_by(mapping, 1)
+        assert evens.world_ranks() == (0, 2, 4)
+        assert odds.world_ranks() == (1, 3, 5)
+
+    def test_split_key_orders(self):
+        t = Team(range(4))
+        mapping = {0: (0, 9), 1: (0, 1), 2: (0, 5), 3: (1, 0)}
+        sub = t.split_by(mapping, 0)
+        assert sub.world_ranks() == (1, 2, 0)
+
+    def test_split_missing_caller_rejected(self):
+        t = Team(range(2))
+        with pytest.raises(UpcxxError):
+            t.split_by({0: (0, 0)}, 1)
+
+    def test_split_method_unsupported(self):
+        t = Team(range(2))
+        with pytest.raises(NotImplementedError):
+            t.split(0, 0, None)
+
+    def test_rank_me_requires_membership(self):
+        def body():
+            t = Team([0])
+            ctx = current_ctx()
+            if ctx.rank == 0:
+                return t.rank_me(ctx)
+            with pytest.raises(UpcxxError):
+                t.rank_me(ctx)
+            return -1
+
+        res = spmd_run(body, ranks=2)
+        assert res.values == [0, -1]

@@ -1,0 +1,135 @@
+"""Dedicated tests for ``copy`` across all four locality cases."""
+
+import pytest
+
+from repro import barrier, copy, new_array, progress, rank_me, rput_bulk
+from repro.errors import CompletionError
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+from tests.conftest import ALL_VERSIONS
+
+
+def serve(ctx, flag="_copy_done"):
+    while not getattr(ctx.world, flag, False):
+        progress()
+        ctx.yield_to_others()
+
+
+@pytest.mark.parametrize("version", ALL_VERSIONS)
+class TestLocalLocal:
+    def test_same_rank_copy(self, versioned_ctx, version):
+        versioned_ctx(version)
+        src = new_array("u64", 4)
+        dst = new_array("u64", 4)
+        rput_bulk([9, 8, 7, 6], src).wait()
+        copy(src, dst, 4).wait()
+        assert list(dst.local().view(4)) == [9, 8, 7, 6]
+
+    def test_partial_copy_with_offsets(self, versioned_ctx, version):
+        versioned_ctx(version)
+        src = new_array("u64", 6)
+        dst = new_array("u64", 6)
+        rput_bulk(list(range(6)), src).wait()
+        copy(src + 2, dst + 1, 3).wait()
+        assert list(dst.local().view(6)) == [0, 2, 3, 4, 0, 0]
+
+
+class TestOnNodeCrossRank:
+    def test_copy_between_peers(self):
+        def body():
+            g = new_array("u64", 4)
+            if rank_me() == 2:
+                g.local().view(4)[:] = [5, 6, 7, 8]
+            barrier()
+            if rank_me() == 0:
+                src = GlobalPtr(2, g.offset, g.ts)
+                dst = GlobalPtr(1, g.offset, g.ts)
+                copy(src, dst, 4).wait()
+            barrier()
+            return list(g.local().view(4))
+
+        res = spmd_run(body, ranks=3)
+        assert res.values[1] == [5, 6, 7, 8]
+
+
+class TestOffNode:
+    def test_local_to_remote(self):
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 3)
+            barrier()
+            if rank_me() == 0:
+                g.local().view(3)[:] = [1, 2, 3]
+                copy(g, GlobalPtr(1, g.offset, g.ts), 3).wait()
+                ctx.world._copy_done = True
+                barrier()
+                return None
+            serve(ctx)
+            barrier()
+            return list(g.local().view(3))
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit="udp")
+        assert res.values[1] == [1, 2, 3]
+
+    def test_remote_to_local(self):
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 3)
+            if rank_me() == 1:
+                g.local().view(3)[:] = [4, 5, 6]
+            barrier()
+            if rank_me() == 0:
+                copy(GlobalPtr(1, g.offset, g.ts), g, 3).wait()
+                ctx.world._copy_done = True
+                barrier()
+                return list(g.local().view(3))
+            serve(ctx)
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit="udp")
+        assert res.values[0] == [4, 5, 6]
+
+    def test_remote_to_remote_staged(self):
+        """Both endpoints off-node: staged through the initiator."""
+
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 3)
+            if rank_me() == 2:
+                g.local().view(3)[:] = [7, 8, 9]
+            barrier()
+            if rank_me() == 0:
+                src = GlobalPtr(2, g.offset, g.ts)
+                dst = GlobalPtr(3, g.offset, g.ts)
+                copy(src, dst, 3).wait()
+                ctx.world._copy_done = True
+                barrier()
+                return None
+            serve(ctx)
+            barrier()
+            return list(g.local().view(3))
+
+        # 4 ranks, 4 nodes: ranks 2 and 3 are both remote to rank 0
+        res = spmd_run(body, ranks=4, n_nodes=4, conduit="udp")
+        assert res.values[3] == [7, 8, 9]
+
+    def test_remote_remote_source_cx_rejected(self):
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 2)
+            barrier()
+            if rank_me() == 0:
+                from repro import operation_cx, source_cx
+
+                src = GlobalPtr(2, g.offset, g.ts)
+                dst = GlobalPtr(3, g.offset, g.ts)
+                with pytest.raises(CompletionError):
+                    copy(
+                        src, dst, 2,
+                        source_cx.as_future() | operation_cx.as_future(),
+                    )
+            barrier()
+
+        spmd_run(body, ranks=4, n_nodes=4, conduit="udp")

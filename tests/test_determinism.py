@@ -1,0 +1,107 @@
+"""Determinism and reproducibility guarantees.
+
+The simulation promises bit-identical functional results and virtual
+clocks for identical (program, seed, version, machine) tuples — the
+property that makes the benchmark figures reproducible and reviewable.
+"""
+
+import pytest
+
+from repro.apps.gups import GupsConfig, run_gups
+from repro.apps.matching import MatchingConfig, run_matching
+from repro.bench.harness import run_micro
+from repro.runtime.config import Version
+from repro.runtime.runtime import spmd_run
+
+VE = Version.V2021_3_6_EAGER
+VD = Version.V2021_3_6_DEFER
+
+
+class TestRunLevelDeterminism:
+    def test_identical_runs_identical_clocks(self):
+        def body():
+            from repro import barrier, new_, rput
+
+            g = new_("u64")
+            for i in range(5):
+                rput(i, g).wait()
+            barrier()
+            from repro.runtime.context import current_ctx
+
+            return current_ctx().clock.now_ns
+
+        a = spmd_run(body, ranks=4, seed=3)
+        b = spmd_run(body, ranks=4, seed=3)
+        assert a.values == b.values
+
+    def test_seed_changes_rng_but_not_structure(self):
+        def body():
+            from repro.runtime.context import current_ctx
+
+            return current_ctx().rng.random()
+
+        a = spmd_run(body, ranks=2, seed=1)
+        b = spmd_run(body, ranks=2, seed=2)
+        assert a.values != b.values
+
+    def test_gups_fully_reproducible(self):
+        cfg = GupsConfig(
+            variant="rma_future", table_log2=9, updates_per_rank=32, batch=8
+        )
+        a = run_gups(cfg, ranks=4, version=VD, machine="intel")
+        b = run_gups(cfg, ranks=4, version=VD, machine="intel")
+        assert a.solve_ns == b.solve_ns
+        assert a.checksum == b.checksum
+
+    def test_matching_fully_reproducible(self):
+        cfg = MatchingConfig(graph="random", scale=1)
+        a = run_matching(cfg, ranks=4, machine="intel")
+        b = run_matching(cfg, ranks=4, machine="intel")
+        assert a.solve_ns == b.solve_ns
+        assert a.mate == b.mate
+        assert a.cross_messages == b.cross_messages
+
+
+class TestGoldenValues:
+    """Pinned virtual-time values: any cost-model or code-path change that
+    shifts these is visible in review (update deliberately)."""
+
+    def test_micro_put_intel_golden(self):
+        r = run_micro("put", VE, "intel", n_ops=10, n_samples=1)
+        # eager local put on intel: rma_call 72 + completion 3 + downcast
+        # 1.5 + memcpy 1 + ready check 1 = 78.5 ns
+        assert r.ns_per_op == pytest.approx(78.5)
+
+    def test_micro_put_defer_intel_golden(self):
+        r = run_micro("put", VD, "intel", n_ops=10, n_samples=1)
+        # + alloc 33 + free 12 + enqueue 7 + poll 6 + dispatch 14 + extra
+        #   ready check 1 = 151.5 ns
+        assert r.ns_per_op == pytest.approx(151.5)
+
+    def test_micro_put_2021_3_0_intel_golden(self):
+        from repro.runtime.config import Version as V
+
+        r = run_micro("put", V.V2021_3_0, "intel", n_ops=10, n_samples=1)
+        # + descriptor 8 + its free 12 + dynamic is_local branch 1 = 172.5
+        assert r.ns_per_op == pytest.approx(172.5)
+
+    def test_amo_contention_scales_with_peers(self):
+        """fadd cost grows linearly in co-located peer count."""
+        from repro import AtomicDomain, barrier, new_
+        from repro.runtime.context import current_ctx
+
+        def body():
+            ad = AtomicDomain({"fetch_add"})
+            g = new_("u64")
+            barrier()
+            ctx = current_ctx()
+            t0 = ctx.clock.now_ns
+            ad.fetch_add(g, 1).wait()
+            dt = ctx.clock.now_ns - t0
+            barrier()
+            return dt
+
+        t2 = spmd_run(body, ranks=2, machine="intel").values[0]
+        t16 = spmd_run(body, ranks=16, machine="intel").values[0]
+        # intel contention constant: 20 ns/peer → 14 extra peers = 280 ns
+        assert t16 - t2 == pytest.approx(14 * 20.0)

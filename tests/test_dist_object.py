@@ -1,0 +1,124 @@
+"""Tests for dist_object: collective identity, fetch, late construction."""
+
+import pytest
+
+from repro import DistObject, barrier, progress, rank_me, rank_n
+from repro.errors import UpcxxError
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+
+
+class TestLocal:
+    def test_local_value(self, ctx):
+        d = DistObject({"x": 1})
+        assert d.local() == {"x": 1}
+
+    def test_update_local(self, ctx):
+        d = DistObject(1)
+        d.update_local(2)
+        assert d.local() == 2
+
+    def test_ids_increment_per_construction(self, ctx):
+        a = DistObject("a")
+        b = DistObject("b")
+        assert b.id == a.id + 1
+        assert a.local() == "a" and b.local() == "b"
+
+    def test_delete_frees_entry(self, ctx):
+        d = DistObject(5)
+        d.delete()
+        with pytest.raises(UpcxxError):
+            d.local()
+        d.delete()  # idempotent
+
+    def test_fetch_self(self):
+        def body():
+            d = DistObject(rank_me() * 10)
+            return d.fetch(rank_me()).wait()
+
+        assert spmd_run(body, ranks=1).values == [0]
+
+
+class TestFetch:
+    def test_fetch_every_rank(self):
+        def body():
+            d = DistObject(("payload", rank_me()))
+            barrier()
+            got = [d.fetch(r).wait() for r in range(rank_n())]
+            barrier()
+            return got
+
+        res = spmd_run(body, ranks=3)
+        expected = [("payload", r) for r in range(3)]
+        assert all(v == expected for v in res.values)
+
+    def test_identity_matches_construction_order(self):
+        """Two dist_objects constructed in the same order pair up by
+        construction index, not by value."""
+
+        def body():
+            first = DistObject(f"first-{rank_me()}")
+            second = DistObject(f"second-{rank_me()}")
+            barrier()
+            peer = (rank_me() + 1) % rank_n()
+            got = (first.fetch(peer).wait(), second.fetch(peer).wait())
+            barrier()
+            return got
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[0] == ("first-1", "second-1")
+        assert res.values[1] == ("first-0", "second-0")
+
+    def test_fetch_invalid_rank(self, ctx):
+        d = DistObject(0)
+        with pytest.raises(UpcxxError):
+            d.fetch(99)
+
+    def test_fetch_races_construction(self):
+        """A fetch that arrives before the target constructs its object
+        parks until construction (UPC++ guarantee)."""
+
+        def body():
+            ctx = current_ctx()
+            if rank_me() == 0:
+                d = DistObject("early")
+                fut = d.fetch(1)  # rank 1 hasn't constructed yet
+                val = fut.wait()
+                barrier()
+                return val
+            # rank 1: deliver the incoming fetch *before* constructing
+            ctx.progress()
+            d = DistObject("late")
+            ctx.progress()  # now serve any parked reply
+            barrier()
+            return d.local()
+
+        res = spmd_run(body, ranks=2)
+        # rank 0 fetched rank 1's (late-constructed) value
+        assert res.values == ["late", "late"]
+
+    def test_fetch_after_delete_rejected(self, ctx):
+        d = DistObject(1)
+        d.delete()
+        with pytest.raises(UpcxxError):
+            d.fetch(0)
+
+
+class TestPointerExchangeIdiom:
+    def test_exchange_global_pointers(self):
+        """The canonical use: exchanging shared-heap pointers."""
+
+        def body():
+            from repro import new_, rget
+
+            g = new_("u64", 100 + rank_me())
+            d = DistObject(g)
+            barrier()
+            peer = (rank_me() + 1) % rank_n()
+            peer_ptr = d.fetch(peer).wait()
+            val = rget(peer_ptr).wait()
+            barrier()
+            return val
+
+        res = spmd_run(body, ranks=4)
+        assert res.values == [101, 102, 103, 100]

@@ -1,0 +1,133 @@
+"""Unit tests for futures: readiness, results, chaining, waiting."""
+
+import pytest
+
+from repro.core.cell import PromiseCell, alloc_cell
+from repro.core.future import Future, make_future, to_future
+from repro.errors import DeadlockError, FutureError
+from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
+
+
+class TestMakeFuture:
+    def test_valueless_ready(self, ctx):
+        f = make_future()
+        assert f.is_ready()
+        assert f.result() is None
+        assert f.nvalues == 0
+
+    def test_single_value(self, ctx):
+        f = make_future(42)
+        assert f.is_ready()
+        assert f.result() == 42
+
+    def test_multi_value_returns_tuple(self, ctx):
+        f = make_future(1, "x")
+        assert f.result() == (1, "x")
+        assert f.result_tuple() == (1, "x")
+
+    def test_valueless_uses_shared_cell(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        before = c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        make_future()
+        assert c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before
+
+    def test_value_future_always_allocates(self, versioned_ctx):
+        """§III-B: the value must be stored somewhere."""
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        before = c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        make_future(5)
+        assert c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before + 1
+
+    def test_to_future_passthrough(self, ctx):
+        f = make_future(1)
+        assert to_future(f) is f
+
+    def test_to_future_wraps_value(self, ctx):
+        assert to_future(9).result() == 9
+
+
+class TestResult:
+    def test_result_before_ready_raises(self, ctx):
+        f = Future(PromiseCell(deps=1))
+        with pytest.raises(FutureError):
+            f.result()
+
+    def test_result_after_fulfill(self, ctx):
+        cell = PromiseCell(nvalues=1, deps=1)
+        f = Future(cell)
+        cell.set_values((3,))
+        cell.fulfill()
+        assert f.result() == 3
+
+
+class TestThen:
+    def test_then_on_ready_runs_synchronously(self, ctx):
+        """UPC++ semantics: a ready future executes the callback during
+        then() — this is the observable face of eager notification."""
+        ran = []
+        make_future(5).then(lambda v: ran.append(v))
+        assert ran == [5]
+
+    def test_then_on_pending_defers(self, ctx):
+        cell = PromiseCell(deps=1)
+        ran = []
+        Future(cell).then(lambda: ran.append(1))
+        assert ran == []
+        cell.fulfill()
+        assert ran == [1]
+
+    def test_then_result_value(self, ctx):
+        f = make_future(10).then(lambda v: v + 1)
+        assert f.result() == 11
+
+    def test_then_chaining(self, ctx):
+        f = make_future(1).then(lambda v: v + 1).then(lambda v: v * 10)
+        assert f.result() == 20
+
+    def test_then_flattens_futures(self, ctx):
+        f = make_future(1).then(lambda v: make_future(v + 100))
+        assert f.result() == 101
+
+    def test_then_none_result_is_valueless(self, ctx):
+        f = make_future(1).then(lambda v: None)
+        assert f.is_ready()
+        assert f.result() is None
+        assert f.nvalues == 0
+
+    def test_then_tuple_result_multi_value(self, ctx):
+        f = make_future().then(lambda: (1, 2))
+        assert f.result() == (1, 2)
+
+    def test_pending_then_flattens(self, ctx):
+        cell = PromiseCell(deps=1)
+        f = Future(cell).then(lambda: make_future(7))
+        assert not f._cell.ready
+        cell.fulfill()
+        assert f.result() == 7
+
+    def test_then_receives_all_values(self, ctx):
+        f = make_future(2, 3).then(lambda a, b: a * b)
+        assert f.result() == 6
+
+
+class TestWait:
+    def test_wait_on_ready_returns_immediately(self, ctx):
+        assert make_future(5).wait() == 5
+
+    def test_wait_drains_progress(self, ctx):
+        cell = alloc_cell(ctx, deps=1)
+        ctx.progress_engine.enqueue_deferred(cell.fulfill)
+        assert Future(cell).wait() is None
+        assert cell.ready
+
+    def test_wait_forever_deadlocks_standalone(self, ctx):
+        f = Future(PromiseCell(deps=1))
+        with pytest.raises(DeadlockError):
+            f.wait()
+
+    def test_wait_charges_ready_check(self, ctx):
+        f = make_future()
+        before = ctx.costs.count(CostAction.FUTURE_READY_CHECK)
+        f.wait()
+        assert ctx.costs.count(CostAction.FUTURE_READY_CHECK) == before + 1

@@ -1,0 +1,105 @@
+"""Edge-case tests for future composition and callback behaviour."""
+
+import pytest
+
+from repro.core.cell import PromiseCell, alloc_cell
+from repro.core.future import Future, make_future
+from repro.core.when_all import when_all
+from repro.errors import FutureError
+from repro.runtime.config import Version
+
+
+class TestThenEdgeCases:
+    def test_deep_flatten_chain(self, ctx):
+        """then returning a future returning a future: each level is
+        adopted exactly once."""
+        f = make_future(1).then(
+            lambda v: make_future(v + 1).then(lambda w: make_future(w + 1))
+        )
+        assert f.result() == 3
+
+    def test_then_on_multi_value_future(self, ctx):
+        f = make_future(2, 3, 4).then(lambda a, b, c: a + b + c)
+        assert f.result() == 9
+
+    def test_then_callback_arity_mismatch_raises(self, ctx):
+        with pytest.raises(TypeError):
+            make_future(1, 2).then(lambda a: a)
+
+    def test_deferred_then_chain_resolves_in_order(self, ctx):
+        cell = PromiseCell(deps=1)
+        order = []
+        f = Future(cell)
+        f.then(lambda: order.append("first"))
+        f.then(lambda: order.append("second"))
+        cell.fulfill()
+        assert order == ["first", "second"]
+
+    def test_then_callback_exception_propagates_at_fulfill(self, ctx):
+        cell = PromiseCell(deps=1)
+        Future(cell).then(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            cell.fulfill()
+
+    def test_then_result_usable_in_when_all(self, ctx):
+        cell = PromiseCell(deps=1)
+        derived = Future(cell).then(lambda: 7)
+        combined = when_all(make_future(1), derived)
+        assert not combined._cell.ready
+        cell.fulfill()
+        assert combined.result_tuple() == (1, 7)
+
+
+class TestWhenAllEdgeCases:
+    def test_single_input_passthrough_semantics(self, versioned_ctx):
+        versioned_ctx(Version.V2021_3_6_EAGER)
+        p = Future(PromiseCell(nvalues=2, deps=1))
+        out = when_all(p)
+        assert out is p  # single contributor shortcut
+
+    def test_when_all_of_when_all(self, ctx):
+        cells = [PromiseCell(deps=1) for _ in range(3)]
+        inner = when_all(*(Future(c) for c in cells[:2]))
+        outer = when_all(inner, Future(cells[2]))
+        for c in cells:
+            c.fulfill()
+        assert outer._cell.ready
+
+    def test_duplicate_future_input(self, ctx):
+        """The same pending future conjoined twice must count twice."""
+        cell = PromiseCell(deps=1)
+        f = Future(cell)
+        combined = when_all(f, f)
+        cell.fulfill()
+        assert combined._cell.ready
+
+    def test_value_ordering_with_duplicates(self, ctx):
+        f = make_future(5)
+        assert when_all(f, f).result_tuple() == (5, 5)
+
+    def test_legacy_ready_value_inputs(self, versioned_ctx):
+        versioned_ctx(Version.V2021_3_0)
+        out = when_all(make_future(1), make_future(2))
+        assert out.result_tuple() == (1, 2)
+
+
+class TestResultAccess:
+    def test_result_tuple_vs_result(self, ctx):
+        f = make_future(1)
+        assert f.result() == 1
+        assert f.result_tuple() == (1,)
+
+    def test_valueless_result_is_none(self, ctx):
+        assert make_future().result() is None
+        assert make_future().result_tuple() == ()
+
+    def test_nonready_result_raises_without_wait(self, ctx):
+        f = Future(PromiseCell(deps=1))
+        with pytest.raises(FutureError):
+            f.result()
+        with pytest.raises(FutureError):
+            f.result_tuple()
+
+    def test_repeated_result_reads(self, ctx):
+        f = make_future([1, 2])
+        assert f.result() is f.result()  # same object, not re-produced

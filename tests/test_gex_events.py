@@ -1,0 +1,45 @@
+"""Tests for the gex_Event-style completion handles."""
+
+import pytest
+
+from repro.gasnet.events import GexEvent
+
+
+class TestCompleted:
+    def test_completed_factory(self):
+        e = GexEvent.completed((1, 2))
+        assert e.done
+        assert e.values == (1, 2)
+
+    def test_callback_on_completed_runs_now(self):
+        got = []
+        GexEvent.completed((7,)).on_complete(got.append)
+        assert got == [(7,)]
+
+
+class TestPending:
+    def test_pending_factory(self):
+        e = GexEvent.pending()
+        assert not e.done
+
+    def test_signal_fires_callbacks_in_order(self):
+        e = GexEvent.pending()
+        order = []
+        e.on_complete(lambda v: order.append(("a", v)))
+        e.on_complete(lambda v: order.append(("b", v)))
+        e.signal((42,))
+        assert order == [("a", (42,)), ("b", (42,))]
+        assert e.done and e.values == (42,)
+
+    def test_callback_after_signal_runs_now(self):
+        e = GexEvent.pending()
+        e.signal()
+        got = []
+        e.on_complete(got.append)
+        assert got == [()]
+
+    def test_double_signal_rejected(self):
+        e = GexEvent.pending()
+        e.signal()
+        with pytest.raises(RuntimeError):
+            e.signal()

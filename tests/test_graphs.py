@@ -1,0 +1,115 @@
+"""Tests for the synthetic graph suite."""
+
+import pytest
+
+from repro.apps.graphs import (
+    GRAPH_NAMES,
+    edge_weight,
+    locality_fractions,
+    make_graph,
+    owner_of,
+)
+
+
+class TestEdgeWeight:
+    def test_symmetric(self):
+        assert edge_weight(3, 7) == edge_weight(7, 3)
+
+    def test_positive_bounded(self):
+        for u in range(20):
+            for v in range(u + 1, 20):
+                w = edge_weight(u, v)
+                assert 0 < w <= 1
+
+    def test_distinct_in_practice(self):
+        ws = {edge_weight(u, v) for u in range(40) for v in range(u + 1, 40)}
+        assert len(ws) == 40 * 39 // 2
+
+    def test_deterministic(self):
+        assert edge_weight(5, 9) == edge_weight(5, 9)
+
+
+class TestOwner:
+    def test_block_partition(self):
+        assert owner_of(0, 100, 4) == 0
+        assert owner_of(99, 100, 4) == 3
+
+    def test_uneven_sizes(self):
+        # n=10, 4 ranks → per=3: owners 0,0,0,1,1,1,2,2,2,3
+        owners = [owner_of(v, 10, 4) for v in range(10)]
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_last_rank_clamped(self):
+        # per = ceil(16/5) = 4 → rank 4 owns no vertices; owner never
+        # exceeds ranks-1 even for the last vertex
+        assert owner_of(15, 16, 5) == 3
+        assert owner_of(9, 10, 3) == 2
+
+
+@pytest.mark.parametrize("name", GRAPH_NAMES)
+class TestGenerators:
+    def test_valid_structure(self, name):
+        g = make_graph(name, scale=1, seed=0)
+        g.validate()
+        assert g.n > 0 and g.n_edges > 0
+
+    def test_deterministic(self, name):
+        a = make_graph(name, scale=1, seed=3)
+        b = make_graph(name, scale=1, seed=3)
+        assert a.adj == b.adj
+
+    def test_seed_sensitivity(self, name):
+        a = make_graph(name, scale=1, seed=0)
+        b = make_graph(name, scale=1, seed=99)
+        if name in ("channel", "venturi"):
+            # meshes are seed-independent structures
+            assert a.adj == b.adj
+        else:
+            assert a.adj != b.adj
+
+    def test_scale_grows(self, name):
+        small = make_graph(name, scale=1, seed=0)
+        big = make_graph(name, scale=2, seed=0)
+        assert big.n > small.n
+
+    def test_edges_iterated_once(self, name):
+        g = make_graph(name, scale=1, seed=0)
+        edges = list(g.edges())
+        assert len(edges) == g.n_edges
+        assert all(u < v for u, v, _ in edges)
+
+
+class TestLocalitySpectrum:
+    def test_paper_ordering_at_16_ranks(self):
+        """The Figure 8 explanation: channel is most local, youtube least;
+        the full ordering drives the speedup gradient."""
+        fr = {
+            name: locality_fractions(make_graph(name, scale=4), 16)[
+                "cross_rank"
+            ]
+            for name in GRAPH_NAMES
+        }
+        assert fr["channel"] < fr["venturi"] < fr["random"]
+        assert fr["random"] < fr["delaunay"] < fr["youtube"]
+        assert fr["channel"] < 0.10
+        assert fr["youtube"] > 0.75
+
+    def test_fractions_sum_to_one(self):
+        g = make_graph("random", scale=1)
+        fr = locality_fractions(g, 8)
+        assert fr["same_rank"] + fr["cross_rank"] == pytest.approx(1.0)
+        assert fr["edges"] == g.n_edges
+
+    def test_single_rank_all_local(self):
+        g = make_graph("youtube", scale=1)
+        assert locality_fractions(g, 1)["cross_rank"] == 0.0
+
+
+class TestErrors:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_graph("petersen")
+
+    def test_degree_accessor(self):
+        g = make_graph("channel", scale=1)
+        assert g.degree(0) == len(g.adj[0])

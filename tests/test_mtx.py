@@ -1,0 +1,133 @@
+"""Tests for Matrix Market graph I/O."""
+
+import gzip
+
+import pytest
+
+from repro.apps.graphs import make_graph
+from repro.apps.matching import serial_matching
+from repro.apps.mtx import MtxFormatError, load_mtx, save_mtx
+
+
+def write(tmp_path, text, name="g.mtx"):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+SIMPLE = """%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 2
+2 1 0.5
+3 2 1.5
+"""
+
+
+class TestLoad:
+    def test_simple_symmetric(self, tmp_path):
+        g = load_mtx(write(tmp_path, SIMPLE))
+        g.validate()
+        assert g.n == 3
+        assert g.n_edges == 2
+        assert (0, 0.5) in g.adj[1]
+        assert (2, 1.5) in g.adj[1]
+
+    def test_pattern_gets_synthetic_weights(self, tmp_path):
+        text = """%%MatrixMarket matrix coordinate pattern symmetric
+2 2 1
+2 1
+"""
+        g = load_mtx(write(tmp_path, text))
+        (v, w), = g.adj[0]
+        assert v == 1 and 0 < w <= 1
+
+    def test_general_symmetrizes(self, tmp_path):
+        text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 2 3.0
+2 1 3.0
+"""
+        g = load_mtx(write(tmp_path, text))
+        assert g.n_edges == 1
+        g.validate()
+
+    def test_self_loops_dropped(self, tmp_path):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 1.0
+2 1 1.0
+"""
+        g = load_mtx(write(tmp_path, text))
+        assert g.n_edges == 1
+
+    def test_gzip_supported(self, tmp_path):
+        p = tmp_path / "g.mtx.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write(SIMPLE)
+        assert load_mtx(p).n_edges == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        g = load_mtx(write(tmp_path, SIMPLE, "channelish.mtx"))
+        assert g.name == "channelish"
+
+    def test_nonpositive_weight_replaced(self, tmp_path):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 1
+2 1 -4.0
+"""
+        g = load_mtx(write(tmp_path, text))
+        (_, w), = g.adj[0]
+        assert w > 0
+
+
+class TestLoadErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("no header\n", "header"),
+            ("%%MatrixMarket matrix array real symmetric\n1 1\n", "layout"),
+            (
+                "%%MatrixMarket matrix coordinate complex symmetric\n"
+                "1 1 0\n",
+                "value type",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "1 1 0\n",
+                "symmetry",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n",
+                "square",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real symmetric\n"
+                "2 2 5\n2 1 1.0\n",
+                "mismatch",
+            ),
+        ],
+    )
+    def test_bad_files(self, tmp_path, text, match):
+        with pytest.raises(MtxFormatError, match=match):
+            load_mtx(write(tmp_path, text))
+
+
+class TestRoundTrip:
+    def test_synthetic_graph_roundtrips(self, tmp_path):
+        g = make_graph("random", scale=1, seed=3)
+        p = tmp_path / "out.mtx"
+        save_mtx(g, p)
+        g2 = load_mtx(p)
+        g2.validate()
+        assert g2.n == g.n
+        assert g2.n_edges == g.n_edges
+        # identical matchings — weights preserved to 9 significant digits
+        assert serial_matching(g2) == serial_matching(g)
+
+    def test_roundtrip_preserves_adjacency_sets(self, tmp_path):
+        g = make_graph("venturi", scale=1)
+        p = tmp_path / "v.mtx"
+        save_mtx(g, p)
+        g2 = load_mtx(p)
+        for u in range(g.n):
+            assert {v for v, _ in g.adj[u]} == {v for v, _ in g2.adj[u]}

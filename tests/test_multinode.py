@@ -1,0 +1,166 @@
+"""Multi-node (off-node) behaviour across conduits.
+
+The paper's experiments are single-node, but the implementation must stay
+correct when ranks live on different nodes (the distributed-memory case
+eager notification explicitly must not regress, §IV-A).
+"""
+
+import pytest
+
+from repro import (
+    AtomicDomain,
+    barrier,
+    new_,
+    progress,
+    rank_me,
+    rget,
+    rpc,
+    rput,
+)
+from repro.errors import DeadlockError
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.config import Version
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+
+CONDUITS = ("udp", "mpi", "ibv")
+
+
+def serve_until_flag(ctx):
+    """Spin providing progress until the world-level done flag is set."""
+    while not getattr(ctx.world, "_done_flag", False):
+        progress()
+        ctx.yield_to_others()
+
+
+@pytest.mark.parametrize("conduit", CONDUITS)
+class TestOffnodeOps:
+    def test_put_get_roundtrip(self, conduit):
+        def body():
+            ctx = current_ctx()
+            g = new_("u64", 5)
+            barrier()
+            if rank_me() == 0:
+                remote = GlobalPtr(1, g.offset, g.ts)
+                rput(77, remote).wait()
+                got = rget(remote).wait()
+                ctx.world._done_flag = True
+                barrier()
+                return got
+            serve_until_flag(ctx)
+            barrier()
+            return g.local().read()
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit=conduit)
+        assert res.values == [77, 77]
+
+    def test_offnode_amo(self, conduit):
+        def body():
+            ctx = current_ctx()
+            ad = AtomicDomain({"fetch_add"})
+            g = new_("u64", 10)
+            barrier()
+            if rank_me() == 0:
+                remote = GlobalPtr(1, g.offset, g.ts)
+                old = ad.fetch_add(remote, 5).wait()
+                ctx.world._done_flag = True
+                barrier()
+                return old
+            serve_until_flag(ctx)
+            barrier()
+            return g.local().read()
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit=conduit)
+        assert res.values == [10, 15]
+
+    def test_offnode_rpc(self, conduit):
+        def body():
+            ctx = current_ctx()
+            barrier()
+            if rank_me() == 0:
+                got = rpc(1, lambda: rank_me() * 100).wait()
+                ctx.world._done_flag = True
+                barrier()
+                return got
+            serve_until_flag(ctx)
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit=conduit)
+        assert res.values[0] == 100
+
+
+class TestTopologyEffects:
+    def test_is_local_false_across_nodes(self):
+        def body():
+            g = new_("u64")
+            barrier()
+            other = GlobalPtr((rank_me() + 2) % 4, g.offset, g.ts)
+            same_node = GlobalPtr(rank_me() ^ 1, g.offset, g.ts)
+            out = (other.is_local(), same_node.is_local())
+            barrier()
+            return out
+
+        res = spmd_run(body, ranks=4, n_nodes=2, conduit="udp")
+        assert all(v == (False, True) for v in res.values)
+
+    def test_onnode_stays_synchronous_in_multinode_world(self):
+        """PSHM bypass applies to co-located ranks even in a multi-node
+        job: the eager future is ready at initiation."""
+
+        def body():
+            g = new_("u64")
+            barrier()
+            peer = GlobalPtr(rank_me() ^ 1, g.offset, g.ts)
+            f = rput(1, peer)
+            ready = f.is_ready()
+            f.wait()
+            barrier()
+            return ready
+
+        res = spmd_run(
+            body, ranks=4, n_nodes=2, conduit="udp",
+            version=Version.V2021_3_6_EAGER,
+        )
+        assert all(res.values)
+
+    def test_offnode_latency_dwarfs_onnode(self):
+        def body():
+            ctx = current_ctx()
+            g = new_("u64")
+            barrier()
+            if rank_me() == 0:
+                on = GlobalPtr(1, g.offset, g.ts)
+                off = GlobalPtr(2, g.offset, g.ts)
+                t0 = ctx.clock.now_ns
+                rput(1, on).wait()
+                t_on = ctx.clock.now_ns - t0
+                t0 = ctx.clock.now_ns
+                rput(1, off).wait()
+                t_off = ctx.clock.now_ns - t0
+                ctx.world._done_flag = True
+                barrier()
+                return (t_on, t_off)
+            serve_until_flag(ctx)
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=4, n_nodes=2, conduit="udp",
+                       machine="intel")
+        t_on, t_off = res.values[0]
+        assert t_off > 20 * t_on
+
+    def test_unserved_offnode_op_deadlocks_cleanly(self):
+        """If the target node never provides progress the job hangs and
+        the simulator reports it (rather than spinning forever)."""
+
+        def body():
+            g = new_("u64")
+            barrier()
+            if rank_me() == 0:
+                remote = GlobalPtr(1, g.offset, g.ts)
+                rget(remote).wait()  # rank 1 never calls progress again
+            # rank 1 exits immediately
+
+        with pytest.raises(DeadlockError):
+            spmd_run(body, ranks=2, n_nodes=2, conduit="udp")

@@ -1,0 +1,115 @@
+"""Tests for the noise model and its interaction with the paper's
+sampling protocol."""
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import run_micro
+from repro.runtime.config import Version
+from repro.runtime.runtime import spmd_run
+from repro.sim.stats import paper_average
+
+VE = Version.V2021_3_6_EAGER
+
+
+def _timed_body():
+    from repro import new_, rput
+    from repro.runtime.context import current_ctx
+
+    g = new_("u64")
+    ctx = current_ctx()
+    t0 = ctx.clock.now_ns
+    for _ in range(20):
+        rput(1, g).wait()
+    return ctx.clock.now_ns - t0
+
+
+class TestNoiseModel:
+    def test_zero_noise_is_deterministic(self):
+        a = spmd_run(_timed_body, ranks=1, seed=1).values[0]
+        b = spmd_run(_timed_body, ranks=1, seed=2).values[0]
+        assert a == b
+
+    def test_noise_perturbs_timing(self):
+        a = spmd_run(_timed_body, ranks=1, seed=1, noise=0.1).values[0]
+        b = spmd_run(_timed_body, ranks=1, seed=2, noise=0.1).values[0]
+        assert a != b
+
+    def test_noise_is_seeded_and_reproducible(self):
+        a = spmd_run(_timed_body, ranks=1, seed=7, noise=0.1).values[0]
+        b = spmd_run(_timed_body, ranks=1, seed=7, noise=0.1).values[0]
+        assert a == b
+
+    def test_noise_is_one_sided(self):
+        """Interference only adds time: every noisy sample is at least
+        the noise-free value (the premise of the paper's estimator)."""
+        nominal = spmd_run(_timed_body, ranks=1).values[0]
+        samples = [
+            spmd_run(_timed_body, ranks=1, seed=i, noise=0.05).values[0]
+            for i in range(20)
+        ]
+        assert all(s >= nominal for s in samples)
+        # per-charge jitter (~σ·0.8) plus the run-wide factor (~2σ·0.8)
+        mean = statistics.mean(samples)
+        assert nominal < mean < nominal * 1.35
+
+    def test_noise_never_perturbs_functional_results(self):
+        """Jitter must not change what the program computes — only when."""
+        from repro.apps.gups import GupsConfig, run_gups
+
+        cfg = GupsConfig(
+            variant="amo_promise", table_log2=9, updates_per_rank=24,
+            batch=8,
+        )
+        clean = run_gups(cfg, ranks=2, machine="generic")
+        # noise plumbed via spmd_run isn't exposed by run_gups (apps are
+        # measured deterministically); exercise it at the micro level:
+        noisy = run_micro("put", VE, "generic", n_ops=20, n_samples=5,
+                          noise=0.2)
+        assert clean.matches_oracle
+        assert noisy.ns_per_op > 0
+
+    def test_counts_unaffected_by_noise(self):
+        from repro.sim.costmodel import CostAction
+
+        def body():
+            from repro import new_, rput
+            from repro.runtime.context import current_ctx
+
+            g = new_("u64")
+            rput(1, g).wait()
+            return current_ctx().costs.count(
+                CostAction.HEAP_ALLOC_PROMISE_CELL
+            )
+
+        a = spmd_run(body, ranks=1).values[0]
+        b = spmd_run(body, ranks=1, noise=0.3).values[0]
+        assert a == b
+
+
+class TestProtocolUnderNoise:
+    def test_top10_estimator_closer_to_truth_than_mean(self):
+        """With one-sided interference the best-10 average approaches the
+        noise-free truth from above and is strictly closer to it than the
+        plain mean — the reason the paper's protocol exists."""
+        nominal = spmd_run(_timed_body, ranks=1).values[0]
+        samples = [
+            spmd_run(_timed_body, ranks=1, seed=i, noise=0.15).values[0]
+            for i in range(20)
+        ]
+        top10 = paper_average(samples, top=10, lower_is_better=True).value
+        mean = statistics.mean(samples)
+        assert nominal <= top10 < mean
+        assert abs(top10 - nominal) < abs(mean - nominal)
+
+    def test_noisy_micro_still_lands_in_band(self):
+        defer = run_micro(
+            "put", Version.V2021_3_6_DEFER, "intel",
+            n_ops=60, n_samples=20, noise=0.05,
+        )
+        eager = run_micro(
+            "put", VE, "intel", n_ops=60, n_samples=20, noise=0.05
+        )
+        speedup = defer.ns_per_op / eager.ns_per_op - 1
+        assert 0.75 <= speedup <= 1.15  # paper: +92%, despite the noise

@@ -1,0 +1,120 @@
+"""Tests for personas and LPC routing."""
+
+import pytest
+
+from repro import barrier, progress, rank_me
+from repro.errors import UpcxxError
+from repro.runtime.persona import (
+    Persona,
+    current_persona,
+    lpc,
+    master_persona,
+    persona_scope,
+)
+from repro.runtime.runtime import spmd_run
+
+
+class TestStack:
+    def test_master_is_default(self, ctx):
+        assert current_persona() is master_persona()
+        assert master_persona().name == "master"
+
+    def test_scope_activates(self, ctx):
+        p = Persona("worker")
+        with persona_scope(p):
+            assert current_persona() is p
+        assert current_persona() is master_persona()
+
+    def test_nested_scopes(self, ctx):
+        a, b = Persona("a"), Persona("b")
+        with persona_scope(a):
+            with persona_scope(b):
+                assert current_persona() is b
+            assert current_persona() is a
+
+    def test_master_is_per_rank(self):
+        def body():
+            return master_persona().owner_rank
+
+        assert spmd_run(body, ranks=3).values == [0, 1, 2]
+
+
+class TestLpc:
+    def test_master_lpc_runs_in_progress(self, ctx):
+        ran = []
+        fut = lpc(master_persona(), lambda: ran.append(1) or "done")
+        assert ran == []
+        ctx.progress()
+        assert ran == [1]
+        assert fut.result() == "done"
+
+    def test_lpc_result_future(self, ctx):
+        fut = lpc(master_persona(), lambda a, b: a * b, 6, 7)
+        ctx.progress()
+        assert fut.result() == 42
+
+    def test_inactive_persona_defers_until_activated(self, ctx):
+        p = Persona("idle")
+        ran = []
+        lpc(p, lambda: ran.append(1))
+        ctx.progress()
+        assert ran == []  # not active: must not run
+        with persona_scope(p):
+            ctx.progress()
+        assert ran == [1]
+
+    def test_lpc_ordering_fifo(self, ctx):
+        order = []
+        for i in range(4):
+            lpc(master_persona(), lambda i=i: order.append(i))
+        ctx.progress()
+        assert order == [0, 1, 2, 3]
+
+    def test_cross_rank_lpc(self):
+        def body():
+            me = rank_me()
+            p = master_persona()
+            from repro import DistObject
+
+            d = DistObject(p)
+            barrier()
+            if me == 0:
+                peer_persona = d.fetch(1).wait()
+                fut = lpc(peer_persona, rank_me)
+                got = fut.wait()
+                barrier()
+                return got
+            barrier()  # progress inside barrier runs the incoming LPC
+            return None
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[0] == 1  # ran on rank 1
+
+
+class TestErrors:
+    def test_foreign_rank_activation_rejected(self):
+        def body():
+            from repro import DistObject
+
+            p = Persona("mine")
+            d = DistObject(p)
+            barrier()
+            if rank_me() == 1:
+                foreign = d.fetch(0).wait()
+                with pytest.raises(UpcxxError):
+                    with persona_scope(foreign):
+                        pass
+            barrier()
+
+        spmd_run(body, ranks=2)
+
+    def test_out_of_order_exit_rejected(self, ctx):
+        a, b = Persona("a"), Persona("b")
+        sa, sb = persona_scope(a), persona_scope(b)
+        sa.__enter__()
+        sb.__enter__()
+        with pytest.raises(UpcxxError):
+            sa.__exit__(None, None, None)
+        # clean up properly
+        sb.__exit__(None, None, None)
+        sa.__exit__(None, None, None)

@@ -1,0 +1,115 @@
+"""Unit tests for promises: counter semantics, finalize, fulfillment."""
+
+import pytest
+
+from repro.core.promise import Promise
+from repro.errors import PromiseError
+from repro.sim.costmodel import CostAction
+
+
+class TestLifecycle:
+    def test_finalize_with_no_ops_is_ready(self, ctx):
+        p = Promise()
+        f = p.finalize()
+        assert f.is_ready()
+
+    def test_future_not_ready_before_finalize(self, ctx):
+        p = Promise()
+        assert not p.get_future().is_ready()
+
+    def test_counter_tracks_many_ops(self, ctx):
+        p = Promise()
+        p.require_anonymous(3)
+        f = p.finalize()
+        assert not f.is_ready()
+        p.fulfill_anonymous()
+        p.fulfill_anonymous()
+        assert not f.is_ready()
+        p.fulfill_anonymous()
+        assert f.is_ready()
+
+    def test_fulfill_before_finalize(self, ctx):
+        p = Promise()
+        p.require_anonymous(1)
+        p.fulfill_anonymous()
+        assert not p.get_future().is_ready()  # master dep outstanding
+        assert p.finalize().is_ready()
+
+    def test_finalize_idempotent(self, ctx):
+        p = Promise()
+        f1 = p.finalize()
+        f2 = p.finalize()
+        assert f1.is_ready() and f2.is_ready()
+
+    def test_bulk_fulfill(self, ctx):
+        p = Promise()
+        p.require_anonymous(5)
+        p.fulfill_anonymous(5)
+        assert p.finalize().is_ready()
+
+
+class TestErrors:
+    def test_require_after_finalize(self, ctx):
+        p = Promise()
+        p.finalize()
+        with pytest.raises(PromiseError):
+            p.require_anonymous(1)
+
+    def test_negative_require(self, ctx):
+        with pytest.raises(PromiseError):
+            Promise().require_anonymous(-1)
+
+    def test_over_fulfill(self, ctx):
+        p = Promise()
+        p.require_anonymous(1)
+        p.fulfill_anonymous()
+        with pytest.raises(PromiseError):
+            p.fulfill_anonymous()
+
+    def test_over_fulfill_cannot_steal_master_dep(self, ctx):
+        p = Promise()
+        with pytest.raises(PromiseError):
+            p.fulfill_anonymous()
+
+
+class TestValues:
+    def test_value_promise(self, ctx):
+        p = Promise(nvalues=1)
+        p.require_anonymous(1)
+        p.fulfill_result(42)
+        assert p.finalize().result() == 42
+
+    def test_value_arity_checked(self, ctx):
+        p = Promise(nvalues=2)
+        p.require_anonymous(1)
+        with pytest.raises(PromiseError):
+            p.fulfill_result(1)
+
+    def test_valueless_fulfill_result(self, ctx):
+        p = Promise()
+        p.require_anonymous(1)
+        p.fulfill_result()
+        assert p.finalize().is_ready()
+
+
+class TestCosts:
+    def test_promise_is_single_allocation(self, ctx):
+        """The §II-A efficiency claim: a promise tracking N operations
+        costs one heap allocation, not N."""
+        before = ctx.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        p = Promise()
+        p.require_anonymous(100)
+        p.fulfill_anonymous(100)
+        p.finalize().wait()
+        assert (
+            ctx.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == before + 1
+        )
+
+    def test_register_and_fulfill_charge(self, ctx):
+        p = Promise()
+        r0 = ctx.costs.count(CostAction.PROMISE_REGISTER)
+        f0 = ctx.costs.count(CostAction.PROMISE_FULFILL)
+        p.require_anonymous(1)
+        p.fulfill_anonymous()
+        assert ctx.costs.count(CostAction.PROMISE_REGISTER) == r0 + 1
+        assert ctx.costs.count(CostAction.PROMISE_FULFILL) == f0 + 1

@@ -1,0 +1,133 @@
+"""Property-based tests for the applications: GUPS checksum invariance and
+matching invariants on random graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.graphs import Graph, edge_weight
+from repro.apps.gups import GupsConfig, run_gups
+from repro.apps.matching import (
+    MatchingConfig,
+    matching_weight,
+    run_matching,
+    serial_matching,
+)
+from repro.runtime.config import Version
+
+
+def random_graph(n, edge_indices):
+    """Build a graph from hypothesis-chosen (u, v) index pairs."""
+    adj = [[] for _ in range(n)]
+    seen = set()
+    for u, v in edge_indices:
+        u, v = u % n, v % n
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        w = edge_weight(*key)
+        adj[key[0]].append((key[1], w))
+        adj[key[1]].append((key[0], w))
+    return Graph("hyp", n, adj)
+
+
+class TestMatchingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(6, 40),
+        edges=st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+            min_size=4,
+            max_size=120,
+        ),
+        ranks=st.sampled_from([2, 3, 4]),
+    )
+    def test_distributed_equals_serial_on_arbitrary_graphs(
+        self, n, edges, ranks
+    ):
+        g = random_graph(n, edges)
+        cfg = MatchingConfig(graph="random", scale=1)
+        r = run_matching(cfg, ranks=ranks, graph=g, machine="generic")
+        assert r.mate == serial_matching(g)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(4, 30),
+        edges=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 500)),
+            min_size=2,
+            max_size=80,
+        ),
+    )
+    def test_matching_validity_invariants(self, n, edges):
+        g = random_graph(n, edges)
+        mate = serial_matching(g)
+        neighbors = [set(v for v, _ in g.adj[u]) for u in range(n)]
+        for v, m in enumerate(mate):
+            if m >= 0:
+                assert mate[m] == v  # symmetry
+                assert m in neighbors[v]  # real edge
+        # maximality: no edge with both endpoints unmatched
+        for u, v, _ in g.edges():
+            assert not (mate[u] < 0 and mate[v] < 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(6, 24),
+        edges=st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 300)),
+            min_size=3,
+            max_size=50,
+        ),
+    )
+    def test_half_approximation_via_exact(self, n, edges):
+        import networkx as nx
+
+        g = random_graph(n, edges)
+        mate = serial_matching(g)
+        ours = matching_weight(g, mate)
+        nxg = nx.Graph()
+        for u, v, w in g.edges():
+            nxg.add_edge(u, v, weight=w)
+        opt = sum(
+            nxg[u][v]["weight"] for u, v in nx.max_weight_matching(nxg)
+        )
+        assert ours >= 0.5 * opt - 1e-12
+        assert ours <= opt + 1e-12
+
+
+class TestGupsProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        variant=st.sampled_from(
+            ["raw", "manual", "amo_promise", "amo_future"]
+        ),
+        ranks=st.sampled_from([1, 2, 4]),
+    )
+    def test_exact_variants_match_oracle_for_any_seed(
+        self, seed, variant, ranks
+    ):
+        cfg = GupsConfig(
+            variant=variant, table_log2=9, updates_per_rank=32,
+            batch=8, seed=seed,
+        )
+        r = run_gups(cfg, ranks=ranks, machine="generic")
+        assert r.matches_oracle
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_checksum_version_invariant(self, seed):
+        """Functional results are identical across library builds."""
+        cfg = GupsConfig(
+            variant="amo_promise", table_log2=9, updates_per_rank=32,
+            batch=8, seed=seed,
+        )
+        sums = {
+            v: run_gups(cfg, ranks=2, version=v, machine="generic").checksum
+            for v in Version
+        }
+        assert len(set(sums.values())) == 1

@@ -1,0 +1,107 @@
+"""Property-based tests: atomic op sequences vs a Python reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AtomicDomain, new_
+from repro.runtime.context import reset_ambient_ctx
+
+_M64 = (1 << 64) - 1
+
+op_strategy = st.sampled_from(
+    ["add", "sub", "inc", "dec", "bit_and", "bit_or", "bit_xor",
+     "min", "max", "store", "compare_exchange"]
+)
+u64 = st.integers(0, _M64)
+
+
+def model_apply(op, state, a, b):
+    if op == "add":
+        return (state + a) & _M64
+    if op == "sub":
+        return (state - a) & _M64
+    if op == "inc":
+        return (state + 1) & _M64
+    if op == "dec":
+        return (state - 1) & _M64
+    if op == "bit_and":
+        return state & a
+    if op == "bit_or":
+        return state | a
+    if op == "bit_xor":
+        return state ^ a
+    if op == "min":
+        return min(state, a)
+    if op == "max":
+        return max(state, a)
+    if op == "store":
+        return a
+    if op == "compare_exchange":
+        return b if state == a else state
+    raise AssertionError(op)
+
+
+class TestAtomicSequences:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        initial=u64,
+        ops=st.lists(st.tuples(op_strategy, u64, u64), max_size=25),
+    )
+    def test_sequence_matches_model(self, initial, ops):
+        reset_ambient_ctx()
+        ad = AtomicDomain(
+            {"add", "sub", "inc", "dec", "bit_and", "bit_or", "bit_xor",
+             "min", "max", "store", "compare_exchange", "load"},
+            "u64",
+        )
+        g = new_("u64", initial)
+        state = initial
+        for op, a, b in ops:
+            if op == "compare_exchange":
+                ad.compare_exchange(g, a, b).wait()
+            elif op in ("inc", "dec"):
+                getattr(ad, op)(g).wait()
+            else:
+                getattr(ad, op)(g, a).wait()
+            state = model_apply(op, state, a, b)
+            assert ad.load(g).wait() == state
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        initial=u64,
+        deltas=st.lists(u64, min_size=1, max_size=15),
+    )
+    def test_fetch_forms_return_pre_values(self, initial, deltas):
+        """Every fetch_add returns the model's pre-state, and the into-
+        memory form writes exactly the same value."""
+        reset_ambient_ctx()
+        ad = AtomicDomain({"fetch_add", "load"}, "u64")
+        g = new_("u64", initial)
+        slot = new_("u64", 0)
+        state = initial
+        for i, d in enumerate(deltas):
+            if i % 2 == 0:
+                old = ad.fetch_add(g, d).wait()
+            else:
+                ad.fetch_add_into(g, d, slot).wait()
+                old = slot.local().read()
+            assert old == state
+            state = (state + d) & _M64
+        assert ad.load(g).wait() == state
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        initial=st.integers(-(1 << 63), (1 << 63) - 1),
+        deltas=st.lists(
+            st.integers(-(1 << 31), (1 << 31) - 1), max_size=12
+        ),
+    )
+    def test_signed_arithmetic_wraps_like_int64(self, initial, deltas):
+        reset_ambient_ctx()
+        ad = AtomicDomain({"add", "load"}, "i64")
+        g = new_("i64", initial)
+        state = initial
+        for d in deltas:
+            ad.add(g, d).wait()
+            state = (state + d + (1 << 63)) % (1 << 64) - (1 << 63)
+        assert ad.load(g).wait() == state

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for the core future/promise machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cell import PromiseCell
+from repro.core.future import Future, make_future
+from repro.core.promise import Promise
+from repro.core.when_all import when_all
+from repro.runtime.config import Version
+from repro.runtime.context import (
+    reset_ambient_ctx,
+    set_current_ctx,
+)
+from repro.runtime.runtime import build_world
+from repro.runtime.config import RuntimeConfig
+
+# strategy: a "future spec" is (ready?, values tuple)
+value = st.integers(min_value=-(10**6), max_value=10**6)
+spec = st.tuples(st.booleans(), st.lists(value, max_size=3))
+specs = st.lists(spec, max_size=6)
+
+
+def bind(version):
+    world = build_world(RuntimeConfig(version=version))
+    set_current_ctx(world.contexts[0])
+
+
+def build_future(ready, values):
+    if ready:
+        return make_future(*values), None
+    cell = PromiseCell(nvalues=len(values), deps=1)
+    return Future(cell), cell
+
+
+def complete(cell, values):
+    if cell.nvalues:
+        cell.values = tuple(values)
+    cell.fulfill()
+
+
+class TestWhenAllAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=specs)
+    def test_value_concatenation_legacy_vs_optimized(self, specs):
+        """Both when_all implementations deliver the same concatenated
+        values in the same order, regardless of readiness pattern."""
+        results = {}
+        for version in (Version.V2021_3_0, Version.V2021_3_6_EAGER):
+            bind(version)
+            futs, cells = [], []
+            for ready, values in specs:
+                f, cell = build_future(ready, values)
+                futs.append(f)
+                cells.append((cell, values))
+            combined = when_all(*futs)
+            for cell, values in cells:
+                if cell is not None:
+                    complete(cell, values)
+            assert combined._cell.ready
+            results[version] = combined.result_tuple()
+        set_current_ctx(None)
+        reset_ambient_ctx()
+        assert results[Version.V2021_3_0] == results[Version.V2021_3_6_EAGER]
+        expected = tuple(v for _, vals in specs for v in vals)
+        assert results[Version.V2021_3_0] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=specs)
+    def test_readiness_iff_all_inputs_ready(self, specs):
+        bind(Version.V2021_3_6_EAGER)
+        futs, cells = [], []
+        for ready, values in specs:
+            f, cell = build_future(ready, values)
+            futs.append(f)
+            if cell is not None:
+                cells.append((cell, values))
+        combined = when_all(*futs)
+        assert combined._cell.ready == (not cells)
+        for i, (cell, values) in enumerate(cells):
+            assert not combined._cell.ready
+            complete(cell, values)
+        assert combined._cell.ready
+        set_current_ctx(None)
+        reset_ambient_ctx()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=st.integers(0, 5),
+        right=st.integers(0, 5),
+    )
+    def test_associativity_of_readiness(self, left, right):
+        """when_all(when_all(a...), b...) readies exactly when the flat
+        when_all(a..., b...) does."""
+        bind(Version.V2021_3_6_EAGER)
+        lcells = [PromiseCell(deps=1) for _ in range(left)]
+        rcells = [PromiseCell(deps=1) for _ in range(right)]
+        nested = when_all(
+            when_all(*[Future(c) for c in lcells]),
+            *[Future(c) for c in rcells],
+        )
+        flat = when_all(
+            *[Future(c) for c in lcells + rcells],
+        )
+        for c in lcells + rcells:
+            assert nested._cell.ready == flat._cell.ready
+            c.fulfill()
+        assert nested._cell.ready and flat._cell.ready
+        set_current_ctx(None)
+        reset_ambient_ctx()
+
+
+class TestPromiseCounterLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        chunks=st.lists(st.integers(1, 10), max_size=8),
+        finalize_at=st.integers(0, 8),
+    )
+    def test_ready_iff_all_fulfilled_and_finalized(self, chunks, finalize_at):
+        reset_ambient_ctx()
+        p = Promise()
+        total = sum(chunks)
+        p.require_anonymous(total)
+        finalized = False
+        for i, c in enumerate(chunks):
+            if i == finalize_at:
+                p.finalize()
+                finalized = True
+            p.fulfill_anonymous(c)
+            # ready only once everything is fulfilled AND finalized
+            done = finalized and sum(chunks[: i + 1]) == total
+            assert p.get_future()._cell.ready == done
+        if not finalized:
+            assert not p.get_future()._cell.ready
+            p.finalize()
+        assert p.get_future()._cell.ready
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(0, 50))
+    def test_interleaved_require_fulfill(self, n):
+        reset_ambient_ctx()
+        p = Promise()
+        outstanding = 0
+        for i in range(n):
+            p.require_anonymous(1)
+            outstanding += 1
+            if i % 3 == 0:
+                p.fulfill_anonymous(1)
+                outstanding -= 1
+        f = p.finalize()
+        assert f._cell.ready == (outstanding == 0)
+        if outstanding:
+            p.fulfill_anonymous(outstanding)
+        assert f._cell.ready
+
+
+class TestThenLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(value, min_size=1, max_size=5))
+    def test_then_chain_equals_composition(self, values):
+        reset_ambient_ctx()
+        f = make_future(0)
+        total = 0
+        for v in values:
+            f = f.then(lambda acc, v=v: acc + v)
+            total += v
+        assert f.result() == total

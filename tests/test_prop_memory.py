@@ -1,0 +1,115 @@
+"""Property-based tests for the allocator and segments."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BadSharedAlloc
+from repro.memory.allocator import SharedAllocator
+from repro.memory.segment import Segment, type_spec
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 200)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+            ),
+            max_size=60,
+        )
+    )
+    def test_no_overlap_and_conservation(self, ops):
+        """Live blocks never overlap; free+live bytes always equal the
+        segment size."""
+        size = 4096
+        alloc = SharedAllocator(Segment(0, size))
+        live: list[tuple[int, int]] = []
+        for kind, arg in ops:
+            if kind == "alloc":
+                try:
+                    off = alloc.allocate(arg)
+                except BadSharedAlloc:
+                    continue
+                live.append((off, alloc.size_of(off)))
+            elif live:
+                off, _ = live.pop(arg % len(live))
+                alloc.free(off)
+            # invariants
+            spans = sorted(live)
+            for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+                assert o1 + s1 <= o2, "overlapping live blocks"
+            assert alloc.bytes_free() + alloc.bytes_live() == size
+            assert alloc.bytes_live() == sum(s for _, s in live)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 64), min_size=1, max_size=40))
+    def test_free_all_restores_everything(self, sizes):
+        size = 8192
+        alloc = SharedAllocator(Segment(0, size))
+        offs = []
+        for s in sizes:
+            try:
+                offs.append(alloc.allocate(s))
+            except BadSharedAlloc:
+                break
+        for off in offs:
+            alloc.free(off)
+        assert alloc.bytes_free() == size
+        # and the space fully coalesced
+        assert alloc.allocate(size) == 0
+
+
+class TestSegmentProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(0, (1 << 64) - 1), min_size=1, max_size=32
+        ),
+        offset_slots=st.integers(0, 16),
+    )
+    def test_u64_array_roundtrip(self, values, offset_slots):
+        seg = Segment(0, 1024)
+        ts = type_spec("u64")
+        if offset_slots * 8 + len(values) * 8 > 1024:
+            return
+        seg.write_array(offset_slots * 8, ts, values)
+        out = seg.read_array(offset_slots * 8, ts, len(values))
+        assert [int(x) for x in out] == values
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=64), offset=st.integers(0, 100))
+    def test_bytes_roundtrip(self, data, offset):
+        seg = Segment(0, 256)
+        if offset + len(data) > 256:
+            return
+        seg.write_bytes(offset, data)
+        assert seg.read_bytes(offset, len(data)) == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        v=st.floats(allow_nan=False, allow_infinity=False, width=64),
+    )
+    def test_f64_scalar_exact(self, v):
+        seg = Segment(0, 64)
+        ts = type_spec("f64")
+        seg.write_scalar(0, ts, v)
+        assert seg.read_scalar(0, ts) == v
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, (1 << 64) - 1)),
+            max_size=30,
+        )
+    )
+    def test_writes_are_independent(self, writes):
+        """Writing one slot never disturbs others (model vs numpy)."""
+        seg = Segment(0, 256)
+        ts = type_spec("u64")
+        model = [0] * 32
+        for slot, val in writes:
+            seg.write_scalar(slot * 8, ts, val)
+            model[slot] = val
+        assert [int(x) for x in seg.view_array(0, ts, 32)] == model

@@ -1,0 +1,183 @@
+"""Tests for the bench reporting layer."""
+
+from repro.bench.harness import MicroResult
+from repro.bench.report import (
+    format_gups_figure,
+    format_matching_figure,
+    format_micro_figure,
+    format_offnode_figure,
+    format_table,
+)
+from repro.runtime.config import Version
+
+V0 = Version.V2021_3_0
+VD = Version.V2021_3_6_DEFER
+VE = Version.V2021_3_6_EAGER
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(
+            "Title", ["name", "value"], [["a", "1"], ["bbbb", "22"]]
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert set(lines[1]) == {"="}
+        assert "name" in lines[2]
+        assert set(lines[3]) == {"-"}
+        # columns align: all rows same width
+        assert len(lines[4]) == len(lines[5])
+
+    def test_wide_cells_grow_columns(self):
+        out = format_table("T", ["c"], [["a-very-wide-cell"]])
+        assert "a-very-wide-cell" in out
+
+
+def _micro(op, version, ns):
+    return MicroResult(
+        op=op, version=version, machine="intel", ns_per_op=ns, n_ops=1
+    )
+
+
+class TestMicroFigure:
+    def test_speedup_column(self):
+        grid = {
+            ("put", V0): _micro("put", V0, 200.0),
+            ("put", VD): _micro("put", VD, 150.0),
+            ("put", VE): _micro("put", VE, 100.0),
+        }
+        out = format_micro_figure("F", grid, ops=("put",))
+        assert "+50%" in out
+        assert "200.0" in out
+
+    def test_missing_cells_render_dashes(self):
+        grid = {
+            ("fadd_nv", V0): None,
+            ("fadd_nv", VD): _micro("fadd_nv", VD, 10.0),
+            ("fadd_nv", VE): _micro("fadd_nv", VE, 5.0),
+        }
+        out = format_micro_figure("F", grid, ops=("fadd_nv",))
+        assert "--" in out
+        assert "+100%" in out
+
+
+class TestGupsFigure:
+    def test_ratio_column(self):
+        class R:
+            def __init__(self, gups):
+                self.gups = gups
+
+        grid = {}
+        for variant in ("raw", "manual", "rma_promise", "rma_future",
+                        "amo_promise", "amo_future"):
+            grid[(variant, V0)] = R(0.01)
+            grid[(variant, VD)] = R(0.01)
+            grid[(variant, VE)] = R(0.02)
+        out = format_gups_figure("G", grid)
+        assert "2.00x" in out
+        assert "rma_future" in out
+
+
+class TestMatchingFigure:
+    def test_locality_column(self):
+        class R:
+            def __init__(self, ns):
+                self.solve_ns = ns
+
+        grid = {}
+        for name in ("channel", "venturi", "random", "delaunay", "youtube"):
+            grid[(name, V0)] = R(2.2e6)
+            grid[(name, VD)] = R(2.0e6)
+            grid[(name, VE)] = R(1.0e6)
+        loc = {
+            name: {"cross_rank": 0.5}
+            for name in ("channel", "venturi", "random", "delaunay",
+                         "youtube")
+        }
+        out = format_matching_figure("M", grid, loc)
+        assert "50%" in out
+        assert "+100%" in out
+        assert "2.200" in out  # ms rendering
+
+
+class TestOffnodeFigure:
+    def test_delta_column(self):
+        grid = {
+            ("put", VD): 1000.0,
+            ("put", VE): 1001.0,
+        }
+        out = format_offnode_figure("O", grid)
+        assert "+0.10%" in out
+
+
+class TestCsvExport:
+    def test_micro_csv(self):
+        from repro.bench.report import export_micro_csv
+
+        grid = {
+            ("put", V0): _micro("put", V0, 200.0),
+            ("put", VE): _micro("put", VE, 100.0),
+            ("fadd_nv", V0): None,
+        }
+        csv = export_micro_csv(grid)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "op,version,ns_per_op"
+        assert "put,2021.3.0,200.000" in lines
+        assert len(lines) == 3  # header + 2 cells (None omitted)
+
+    def test_gups_csv(self):
+        from repro.bench.report import export_gups_csv
+
+        class R:
+            gups = 0.001
+            solve_ns = 123.0
+
+        csv = export_gups_csv({("raw", VE): R()})
+        assert "raw,2021.3.6-eager,0.001000000,123.0" in csv
+
+    def test_matching_csv(self):
+        from repro.bench.report import export_matching_csv
+
+        class R:
+            solve_ns = 5.0
+
+        csv = export_matching_csv(
+            {("youtube", VD): R()},
+            {"youtube": {"cross_rank": 0.9}},
+        )
+        assert "youtube,2021.3.6-defer,5.0,0.9000" in csv
+
+
+class TestBars:
+    def test_bars_scale_to_peak(self):
+        from repro.bench.report import format_bars
+
+        out = format_bars("B", [("a", 100.0), ("b", 50.0)], unit="ns")
+        lines = out.splitlines()
+        bar_a = lines[2].count("#")
+        bar_b = lines[3].count("#")
+        assert bar_a == 2 * bar_b
+
+    def test_bars_missing_value(self):
+        from repro.bench.report import format_bars
+
+        out = format_bars("B", [("a", 10.0), ("gone", None)])
+        assert "gone" in out and "--" in out
+
+    def test_bars_zero_value(self):
+        from repro.bench.report import format_bars
+
+        out = format_bars("B", [("z", 0.0), ("a", 5.0)])
+        assert "0.0" in out
+
+    def test_micro_bars(self):
+        from repro.bench.report import format_micro_bars
+
+        grid = {
+            ("put", V0): _micro("put", V0, 200.0),
+            ("put", VD): _micro("put", VD, 150.0),
+            ("put", VE): _micro("put", VE, 100.0),
+        }
+        out = format_micro_bars("Figure 2", grid, "put")
+        assert "2021.3.0" in out
+        assert out.count("#") > 0

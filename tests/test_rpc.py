@@ -1,0 +1,228 @@
+"""Tests for RPC, rpc_ff, and payload-size accounting."""
+
+import numpy as np
+import pytest
+
+from repro import barrier, new_, progress, rank_me, rget, rpc, rpc_ff, rput
+from repro.errors import RpcError, SerializationError, UpcxxError
+from repro.memory.global_ptr import GlobalPtr
+from repro.rpc.serialization import payload_nbytes
+from repro.runtime.runtime import spmd_run
+
+
+class TestSerialization:
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_scalars(self):
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(1.5) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abc") == 3
+
+    def test_string_utf8(self):
+        assert payload_nbytes("héllo") == len("héllo".encode())
+
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_containers_recursive(self):
+        assert payload_nbytes([1, 2]) == 24
+        assert payload_nbytes({"a": 1}) == 8 + 1 + 8
+
+    def test_pickle_fallback(self):
+        import fractions
+
+        assert payload_nbytes(fractions.Fraction(1, 3)) > 0
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SerializationError):
+            payload_nbytes(lambda x: x)  # lambdas don't pickle
+
+
+class TestRpc:
+    def test_roundtrip_value(self):
+        def body():
+            if rank_me() == 0:
+                return rpc(1, lambda a, b: a + b, 2, 3).wait()
+            barrier()
+            return None
+
+        # note: target must progress — barrier provides it
+        def body2():
+            if rank_me() == 0:
+                out = rpc(1, lambda a, b: a + b, 2, 3).wait()
+                barrier()
+                return out
+            barrier()
+            return None
+
+        res = spmd_run(body2, ranks=2)
+        assert res.values[0] == 5
+
+    def test_rpc_runs_on_target(self):
+        def body():
+            if rank_me() == 0:
+                peer = rpc(1, rank_me).wait()
+                barrier()
+                return peer
+            barrier()
+            return None
+
+        assert spmd_run(body, ranks=2).values[0] == 1
+
+    def test_rpc_to_self(self):
+        def body():
+            return rpc(0, lambda: "loopback").wait()
+
+        assert spmd_run(body, ranks=1).values[0] == "loopback"
+
+    def test_rpc_returning_future_defers_reply(self):
+        """A callback returning a future delays the reply until it
+        readies (UPC++ semantics)."""
+
+        def body():
+            g = new_("u64", 9)
+            barrier()
+            if rank_me() == 0:
+                gp = GlobalPtr(1, g.offset, g.ts)
+                val = rpc(1, lambda: rget(gp)).wait()
+                barrier()
+                return val
+            barrier()
+            return None
+
+        assert spmd_run(body, ranks=2).values[0] == 9
+
+    def test_rpc_exception_propagates_as_rpc_error(self):
+        def boom():
+            raise ValueError("remote failure")
+
+        def body():
+            if rank_me() == 0:
+                fut = rpc(1, boom)
+                fut.wait()
+            barrier()
+
+        with pytest.raises(RpcError, match="remote failure"):
+            spmd_run(body, ranks=2)
+
+    def test_invalid_target(self):
+        def body():
+            rpc(5, lambda: None)
+
+        with pytest.raises(UpcxxError):
+            spmd_run(body, ranks=2)
+
+    def test_rpc_ff_side_effect(self):
+        def body():
+            g = new_("u64", 0)
+            barrier()
+            if rank_me() == 0:
+                gp = GlobalPtr(1, g.offset, g.ts)
+                rpc_ff(1, lambda: rput(77, gp).wait())
+            barrier()
+            progress()
+            barrier()
+            return g.local().read()
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[1] == 77
+
+    def test_rpc_ff_invalid_target(self):
+        def body():
+            rpc_ff(9, lambda: None)
+
+        with pytest.raises(UpcxxError):
+            spmd_run(body, ranks=2)
+
+    def test_many_rpcs_ordered(self):
+        def body():
+            log = []
+            barrier()
+            if rank_me() == 0:
+                for i in range(5):
+                    rpc_ff(1, lambda i=i: log.append(i))
+            barrier()
+            progress()
+            barrier()
+            return log
+
+        res = spmd_run(body, ranks=2)
+        # AMs execute in injection order on the target
+        combined = res.values[0] + res.values[1]
+        assert combined == [0, 1, 2, 3, 4]
+
+
+class TestRpcCompletions:
+    def test_promise_completion(self):
+        from repro import Promise, operation_cx
+
+        def body():
+            if rank_me() == 0:
+                p = Promise()
+                out = rpc(
+                    1, lambda: 5, comps=operation_cx.as_promise(p)
+                )
+                assert out is None  # no future requested
+                f = p.finalize()
+                assert not f.is_ready()  # round trip pending
+                f.wait()
+                barrier()
+                return "done"
+            barrier()
+            return None
+
+        assert spmd_run(body, ranks=2).values[0] == "done"
+
+    def test_lpc_completion(self):
+        from repro import operation_cx
+
+        def body():
+            ran = []
+            if rank_me() == 0:
+                fut = rpc(
+                    1,
+                    lambda: 9,
+                    comps=operation_cx.as_future()
+                    | operation_cx.as_lpc(lambda: ran.append("lpc")),
+                )
+                got = fut.wait()
+                progress()  # LPC runs on the initiator's progress
+                barrier()
+                return (got, ran)
+            barrier()
+            return None
+
+        got, ran = spmd_run(body, ranks=2).values[0]
+        assert got == 9
+        assert ran == ["lpc"]
+
+    def test_rpc_future_never_ready_at_initiation(self):
+        """Even on the eager build: an RPC cannot complete synchronously."""
+        from repro import Version
+
+        def body():
+            if rank_me() == 0:
+                fut = rpc(1, lambda: 1)
+                early = fut.is_ready()
+                fut.wait()
+                barrier()
+                return early
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=2, version=Version.V2021_3_6_EAGER)
+        assert res.values[0] is False
+
+    def test_remote_event_rejected(self):
+        from repro import remote_cx
+        from repro.errors import CompletionError
+
+        def body():
+            with pytest.raises(CompletionError):
+                rpc(0, lambda: 1, comps=remote_cx.as_rpc(lambda: None))
+
+        spmd_run(body, ranks=1)

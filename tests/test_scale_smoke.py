@@ -1,0 +1,70 @@
+"""Scale smoke tests: larger worlds and longer runs.
+
+Quick versions run by default; the paper-sized configurations are marked
+``slow`` (enable with ``pytest --run-slow``).
+"""
+
+import pytest
+
+from repro import AtomicDomain, barrier, new_, rank_me, rank_n, rput
+from repro.apps.gups import GupsConfig, run_gups
+from repro.apps.matching import MatchingConfig, run_matching, serial_matching
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.runtime import spmd_run
+
+
+class TestManyRanks:
+    def test_32_rank_ring(self):
+        def body():
+            g = new_("u64", 0)
+            barrier()
+            rput(rank_me(), GlobalPtr((rank_me() + 1) % rank_n(),
+                                      g.offset, g.ts)).wait()
+            barrier()
+            return g.local().read()
+
+        res = spmd_run(body, ranks=32)
+        assert res.values == [(r - 1) % 32 for r in range(32)]
+
+    def test_32_rank_atomic_fanin(self):
+        def body():
+            ad = AtomicDomain({"add", "load"})
+            g = new_("u64", 0)
+            barrier()
+            ad.add(GlobalPtr(0, g.offset, g.ts), 1).wait()
+            barrier()
+            if rank_me() == 0:
+                return ad.load(g).wait()
+            return None
+
+        assert spmd_run(body, ranks=32).values[0] == 32
+
+    def test_paper_process_count_gups(self):
+        """16 ranks — the paper's reported configuration — at small size."""
+        cfg = GupsConfig(
+            variant="amo_promise", table_log2=10, updates_per_rank=16,
+            batch=8,
+        )
+        r = run_gups(cfg, ranks=16, machine="intel")
+        assert r.matches_oracle
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    def test_gups_all_variants_16_ranks(self):
+        from repro.apps.gups import GUPS_VARIANTS
+
+        for variant in GUPS_VARIANTS:
+            cfg = GupsConfig(
+                variant=variant, table_log2=12, updates_per_rank=192,
+                batch=32,
+            )
+            r = run_gups(cfg, ranks=16, machine="intel")
+            assert r.passes_hpcc_verification
+
+    def test_matching_16_ranks_scale_4(self):
+        for name in ("channel", "youtube"):
+            cfg = MatchingConfig(graph=name, scale=4)
+            g = cfg.build_graph()
+            r = run_matching(cfg, ranks=16, graph=g)
+            assert r.mate == serial_matching(g)

@@ -1,0 +1,136 @@
+"""Unit tests for shared segments and the type registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentError
+from repro.memory.segment import Segment, type_spec
+
+
+@pytest.fixture
+def seg():
+    return Segment(owner_rank=0, size_bytes=1024)
+
+
+class TestTypeSpec:
+    @pytest.mark.parametrize(
+        "name,size",
+        [("i64", 8), ("u64", 8), ("f64", 8), ("i32", 4), ("u32", 4), ("u8", 1)],
+    )
+    def test_sizes(self, name, size):
+        assert type_spec(name).size == size
+
+    def test_passthrough(self):
+        ts = type_spec("u64")
+        assert type_spec(ts) is ts
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            type_spec("u128")
+
+
+class TestConstruction:
+    def test_zero_initialized(self, seg):
+        assert seg.read_scalar(0, type_spec("u64")) == 0
+
+    def test_size_must_be_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            Segment(0, 1001)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Segment(0, 0)
+
+
+class TestScalar:
+    def test_roundtrip_i64(self, seg):
+        ts = type_spec("i64")
+        seg.write_scalar(16, ts, -42)
+        assert seg.read_scalar(16, ts) == -42
+
+    def test_roundtrip_f64(self, seg):
+        ts = type_spec("f64")
+        seg.write_scalar(8, ts, 3.25)
+        assert seg.read_scalar(8, ts) == 3.25
+
+    def test_u64_full_range(self, seg):
+        ts = type_spec("u64")
+        big = (1 << 64) - 1
+        seg.write_scalar(0, ts, big)
+        assert seg.read_scalar(0, ts) == big
+
+    def test_returns_python_scalar(self, seg):
+        ts = type_spec("u64")
+        seg.write_scalar(0, ts, 5)
+        v = seg.read_scalar(0, ts)
+        assert type(v) is int
+
+    def test_out_of_bounds(self, seg):
+        with pytest.raises(SegmentError):
+            seg.read_scalar(1024, type_spec("u64"))
+
+    def test_negative_offset(self, seg):
+        with pytest.raises(SegmentError):
+            seg.read_scalar(-8, type_spec("u64"))
+
+    def test_misaligned(self, seg):
+        with pytest.raises(SegmentError):
+            seg.write_scalar(4, type_spec("u64"), 1)
+
+    def test_i32_alignment_is_4(self, seg):
+        ts = type_spec("i32")
+        seg.write_scalar(4, ts, 7)
+        assert seg.read_scalar(4, ts) == 7
+
+
+class TestArray:
+    def test_roundtrip(self, seg):
+        ts = type_spec("u64")
+        seg.write_array(0, ts, [1, 2, 3])
+        assert list(seg.read_array(0, ts, 3)) == [1, 2, 3]
+
+    def test_read_is_a_copy(self, seg):
+        ts = type_spec("u64")
+        seg.write_array(0, ts, [1, 2])
+        out = seg.read_array(0, ts, 2)
+        out[0] = 99
+        assert seg.read_scalar(0, ts) == 1
+
+    def test_view_aliases_memory(self, seg):
+        ts = type_spec("u64")
+        view = seg.view_array(0, ts, 4)
+        view[2] = 17
+        assert seg.read_scalar(16, ts) == 17
+
+    def test_overflowing_write(self, seg):
+        ts = type_spec("u64")
+        with pytest.raises(SegmentError):
+            seg.write_array(1016, ts, [1, 2])
+
+    def test_negative_count(self, seg):
+        with pytest.raises(ValueError):
+            seg.read_array(0, type_spec("u64"), -1)
+
+    def test_2d_rejected(self, seg):
+        with pytest.raises(ValueError):
+            seg.write_array(0, type_spec("u64"), np.zeros((2, 2)))
+
+
+class TestBytes:
+    def test_roundtrip(self, seg):
+        seg.write_bytes(3, b"hello")
+        assert seg.read_bytes(3, 5) == b"hello"
+
+    def test_unaligned_bytes_ok(self, seg):
+        seg.write_bytes(1, b"\x01")
+        assert seg.read_bytes(1, 1) == b"\x01"
+
+    def test_bounds(self, seg):
+        with pytest.raises(SegmentError):
+            seg.write_bytes(1020, b"xxxxx")
+
+    def test_typed_and_byte_views_agree(self, seg):
+        ts = type_spec("u64")
+        seg.write_scalar(0, ts, 0x0102030405060708)
+        raw = seg.read_bytes(0, 8)
+        assert int.from_bytes(raw, "little") == 0x0102030405060708

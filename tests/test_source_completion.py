@@ -1,0 +1,177 @@
+"""Source-completion semantics (the first event of §II-A's example)."""
+
+import pytest
+
+from repro import (
+    barrier,
+    new_array,
+    operation_cx,
+    progress,
+    rank_me,
+    rput,
+    rput_bulk,
+    source_cx,
+)
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.config import Version
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+
+V0 = Version.V2021_3_0
+VD = Version.V2021_3_6_DEFER
+VE = Version.V2021_3_6_EAGER
+
+
+class TestLocalSourceCompletion:
+    def test_eager_source_ready_at_initiation(self, versioned_ctx):
+        versioned_ctx(VE)
+        g = new_array("u64", 2)
+        fut = rput_bulk([1, 2], g, source_cx.as_future())
+        assert fut.is_ready()
+
+    def test_defer_source_waits_for_progress(self, versioned_ctx):
+        c = versioned_ctx(VD)
+        g = new_array("u64", 2)
+        fut = rput_bulk([1, 2], g, source_cx.as_future())
+        assert not fut.is_ready()
+        c.progress()
+        assert fut.is_ready()
+
+    def test_explicit_factories(self, versioned_ctx):
+        c = versioned_ctx(VE)
+        g = new_array("u64", 2)
+        assert rput_bulk(
+            [1, 2], g, source_cx.as_eager_future()
+        ).is_ready()
+        f = rput_bulk([1, 2], g, source_cx.as_defer_future())
+        assert not f.is_ready()
+        c.progress()
+        assert f.is_ready()
+
+    def test_source_before_operation_in_tuple(self, versioned_ctx):
+        """The §II-A example's ordering: source future first."""
+        versioned_ctx(VD)
+        g = new_array("u64", 1)
+        out = rput(
+            5, g, source_cx.as_future() | operation_cx.as_future()
+        )
+        assert isinstance(out, tuple) and len(out) == 2
+
+
+class TestOffnodeSourceCompletion:
+    def test_source_completes_before_operation_offnode(self):
+        """Off-node: the source buffer is captured at injection (source
+        event fires long before the operation ack returns)."""
+
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 4)
+            barrier()
+            if rank_me() == 0:
+                remote = GlobalPtr(1, g.offset, g.ts)
+                src_fut, op_fut = rput_bulk(
+                    [9, 9, 9, 9],
+                    remote,
+                    source_cx.as_future() | operation_cx.as_future(),
+                )
+                src_ready_early = src_fut.is_ready()
+                op_ready_early = op_fut.is_ready()
+                op_fut.wait()
+                ctx.world._src_done = True
+                barrier()
+                return (src_ready_early, op_ready_early)
+            while not getattr(ctx.world, "_src_done", False):
+                progress()
+                ctx.yield_to_others()
+            barrier()
+            return list(g.local().view(4))
+
+        res = spmd_run(
+            body, ranks=2, n_nodes=2, conduit="udp",
+            version=VE,
+        )
+        src_early, op_early = res.values[0]
+        assert src_early is True  # buffer captured synchronously
+        assert op_early is False  # ack must round-trip
+        assert res.values[1] == [9, 9, 9, 9]
+
+    def test_offnode_bulk_get_value(self):
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 4)
+            if rank_me() == 1:
+                g.local().view(4)[:] = [4, 3, 2, 1]
+            barrier()
+            if rank_me() == 0:
+                from repro import rget_bulk
+
+                remote = GlobalPtr(1, g.offset, g.ts)
+                out = rget_bulk(remote, 4).wait()
+                ctx.world._src_done = True
+                barrier()
+                return list(out)
+            while not getattr(ctx.world, "_src_done", False):
+                progress()
+                ctx.yield_to_others()
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit="mpi")
+        assert res.values[0] == [4, 3, 2, 1]
+
+    def test_offnode_get_into(self):
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 3)
+            dst = new_array("u64", 3)
+            if rank_me() == 1:
+                g.local().view(3)[:] = [7, 8, 9]
+            barrier()
+            if rank_me() == 0:
+                from repro import rget_into
+
+                remote = GlobalPtr(1, g.offset, g.ts)
+                fut = rget_into(remote, dst, 3)
+                assert fut.nvalues == 0
+                fut.wait()
+                ctx.world._src_done = True
+                barrier()
+                return list(dst.local().view(3))
+            while not getattr(ctx.world, "_src_done", False):
+                progress()
+                ctx.yield_to_others()
+            barrier()
+            return None
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit="udp")
+        assert res.values[0] == [7, 8, 9]
+
+
+class TestSourceBufferIndependence:
+    def test_offnode_payload_captured_by_value(self):
+        """Mutating the source list after initiation must not affect the
+        in-flight off-node put (the meaning of source completion)."""
+
+        def body():
+            ctx = current_ctx()
+            g = new_array("u64", 3)
+            barrier()
+            if rank_me() == 0:
+                import numpy as np
+
+                src = np.array([1, 2, 3], dtype=np.uint64)
+                remote = GlobalPtr(1, g.offset, g.ts)
+                fut = rput_bulk(src, remote)
+                src[:] = 0  # scribble after source completion
+                fut.wait()
+                ctx.world._src_done = True
+                barrier()
+                return None
+            while not getattr(ctx.world, "_src_done", False):
+                progress()
+                ctx.yield_to_others()
+            barrier()
+            return list(g.local().view(3))
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit="udp")
+        assert res.values[1] == [1, 2, 3]

@@ -1,0 +1,64 @@
+"""Unit tests for the paper's sampling protocol (20 samples, avg of top 10)."""
+
+import pytest
+
+from repro.sim.stats import paper_average, run_samples
+
+
+class TestPaperAverage:
+    def test_average_of_best_ten_latency(self):
+        samples = list(range(1, 21))  # 1..20
+        st = paper_average(samples, top=10, lower_is_better=True)
+        assert st.value == pytest.approx(sum(range(1, 11)) / 10)
+
+    def test_average_of_best_ten_throughput(self):
+        samples = list(range(1, 21))
+        st = paper_average(samples, top=10, lower_is_better=False)
+        assert st.value == pytest.approx(sum(range(11, 21)) / 10)
+
+    def test_best_and_worst(self):
+        st = paper_average([5.0, 1.0, 3.0], top=2)
+        assert st.best == 1.0
+        assert st.worst == 5.0
+
+    def test_mean_is_over_all_samples(self):
+        st = paper_average([1.0, 2.0, 9.0], top=1)
+        assert st.mean == pytest.approx(4.0)
+        assert st.value == 1.0
+
+    def test_fewer_samples_than_top(self):
+        st = paper_average([4.0, 2.0], top=10)
+        assert st.value == pytest.approx(3.0)
+
+    def test_single_sample(self):
+        st = paper_average([7.0])
+        assert st.value == 7.0
+        assert st.n == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paper_average([])
+
+    def test_samples_preserved_in_original_order(self):
+        st = paper_average([3.0, 1.0, 2.0], top=1)
+        assert st.samples == (3.0, 1.0, 2.0)
+
+
+class TestRunSamples:
+    def test_fn_receives_indices(self):
+        seen = []
+
+        def fn(i):
+            seen.append(i)
+            return float(i)
+
+        run_samples(fn, n_samples=5, top=2)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_protocol_applied(self):
+        st = run_samples(lambda i: float(i), n_samples=20, top=10)
+        assert st.value == pytest.approx(4.5)  # mean of 0..9
+
+    def test_invalid_n_samples(self):
+        with pytest.raises(ValueError):
+            run_samples(lambda i: 0.0, n_samples=0)

@@ -1,0 +1,83 @@
+"""Tests for the Jacobi stencil application (the negative control)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import StencilConfig, run_stencil, serial_jacobi
+from repro.errors import UpcxxError
+from repro.runtime.config import Version
+from tests.conftest import ALL_VERSIONS
+
+
+class TestSerialOracle:
+    def test_boundary_propagation(self):
+        cfg = StencilConfig(n=8, iterations=1)
+        u = serial_jacobi(cfg)
+        assert u[0] == pytest.approx(0.5)  # half the left boundary
+        assert u[-1] == pytest.approx(0.0)
+
+    def test_converges_to_linear_profile(self):
+        cfg = StencilConfig(n=8, iterations=2000)
+        u = serial_jacobi(cfg)
+        expected = np.linspace(1.0, 0.0, 10)[1:-1]
+        assert np.allclose(u, expected, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StencilConfig(n=2)
+        with pytest.raises(ValueError):
+            StencilConfig(iterations=0)
+
+
+@pytest.mark.parametrize("version", ALL_VERSIONS)
+class TestDistributedCorrectness:
+    def test_matches_serial(self, version):
+        cfg = StencilConfig(n=64, iterations=12)
+        r = run_stencil(cfg, ranks=4, version=version, machine="generic")
+        assert r.matches_serial
+
+    def test_single_rank(self, version):
+        cfg = StencilConfig(n=32, iterations=5)
+        r = run_stencil(cfg, ranks=1, version=version, machine="generic")
+        assert r.matches_serial
+
+
+class TestDistributedShapes:
+    def test_uneven_split_rejected(self):
+        with pytest.raises(UpcxxError):
+            run_stencil(StencilConfig(n=10, iterations=1), ranks=3)
+
+    def test_many_ranks(self):
+        cfg = StencilConfig(n=128, iterations=8)
+        r = run_stencil(cfg, ranks=8, machine="generic")
+        assert r.matches_serial
+
+    def test_negative_control_small_gain(self):
+        """Coarse-grained halo exchange: eager gains little — the
+        complementary regime to GUPS."""
+        cfg = StencilConfig(n=1024, iterations=10)
+        td = run_stencil(
+            cfg, ranks=4, version=Version.V2021_3_6_DEFER, machine="intel"
+        ).solve_ns
+        te = run_stencil(
+            cfg, ranks=4, version=Version.V2021_3_6_EAGER, machine="intel"
+        ).solve_ns
+        gain = td / te - 1
+        assert 0 <= gain < 0.08
+
+    def test_gain_shrinks_with_block_size(self):
+        """The eager advantage per iteration is O(1) while compute is
+        O(block): doubling the block must shrink the relative gain."""
+        gains = []
+        for n in (128, 2048):
+            cfg = StencilConfig(n=n, iterations=8)
+            td = run_stencil(
+                cfg, ranks=4, version=Version.V2021_3_6_DEFER,
+                machine="intel",
+            ).solve_ns
+            te = run_stencil(
+                cfg, ranks=4, version=Version.V2021_3_6_EAGER,
+                machine="intel",
+            ).solve_ns
+            gains.append(td / te - 1)
+        assert gains[1] < gains[0]

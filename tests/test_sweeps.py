@@ -1,0 +1,31 @@
+"""Tests for the locality-sweep harness."""
+
+import pytest
+
+from repro.bench.sweeps import LocalityPoint, locality_sweep
+
+
+class TestLocalityPoint:
+    def test_speedup_derivation(self):
+        p = LocalityPoint(local_fraction=1.0, defer_ns=150.0, eager_ns=100.0)
+        assert p.speedup == pytest.approx(0.5)
+
+
+class TestSweep:
+    def test_endpoints(self):
+        pts = locality_sweep(fractions=(0.0, 1.0), ranks=4, updates=48)
+        by = {p.local_fraction: p for p in pts}
+        # all off-node: eager is within a branch of defer
+        assert abs(by[0.0].speedup) < 0.02
+        # all on-node: eager clearly wins
+        assert by[1.0].speedup > 0.1
+
+    def test_deterministic(self):
+        a = locality_sweep(fractions=(0.5,), ranks=4, updates=32)[0]
+        b = locality_sweep(fractions=(0.5,), ranks=4, updates=32)[0]
+        assert a.defer_ns == b.defer_ns
+        assert a.eager_ns == b.eager_ns
+
+    def test_point_ordering_preserved(self):
+        pts = locality_sweep(fractions=(0.25, 0.75), ranks=4, updates=32)
+        assert [p.local_fraction for p in pts] == [0.25, 0.75]

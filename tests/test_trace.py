@@ -1,0 +1,101 @@
+"""Tests for the execution tracer."""
+
+from repro import new_, rput
+from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
+from repro.sim.trace import Tracer
+
+
+class TestRecording:
+    def test_attach_records(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        ctx.charge(CostAction.CPU_LOAD)
+        tr.detach(ctx)
+        ctx.charge(CostAction.CPU_LOAD)
+        assert len(tr) == 1
+        assert tr.events[0].action is CostAction.CPU_LOAD
+
+    def test_timestamps_monotone(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        for _ in range(5):
+            ctx.charge(CostAction.PROGRESS_DISPATCH)
+        ts = [e.t_ns for e in tr.events]
+        assert ts == sorted(ts)
+
+    def test_counts_aggregate_times(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        ctx.charge(CostAction.CPU_LOAD, times=4)
+        assert tr.counts()[CostAction.CPU_LOAD] == 4
+
+    def test_capacity_drops(self, ctx):
+        tr = Tracer(capacity=2)
+        tr.attach(ctx)
+        for _ in range(5):
+            ctx.charge(CostAction.CPU_LOAD)
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_filter_by_action_and_rank(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        ctx.charge(CostAction.CPU_LOAD)
+        ctx.charge(CostAction.CPU_STORE)
+        assert len(tr.filter(action=CostAction.CPU_LOAD)) == 1
+        assert len(tr.filter(rank=ctx.rank)) == 2
+        assert tr.filter(rank=ctx.rank + 1) == []
+
+    def test_first_last(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        ctx.charge(CostAction.CPU_LOAD)
+        ctx.clock.advance(100)
+        ctx.charge(CostAction.CPU_LOAD)
+        assert tr.first(CostAction.CPU_LOAD).t_ns < tr.last(
+            CostAction.CPU_LOAD
+        ).t_ns
+        assert tr.first(CostAction.BARRIER) is None
+
+
+class TestOrderingClaims:
+    def test_defer_dispatch_happens_after_enqueue(self, versioned_ctx):
+        """The deferred path's temporal shape: enqueue at initiation,
+        dispatch strictly later (inside wait's progress)."""
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        tr = Tracer()
+        tr.attach(c)
+        g = new_("u64")
+        rput(1, g).wait()
+        enq = tr.first(CostAction.PROGRESS_QUEUE_ENQUEUE)
+        disp = tr.first(CostAction.PROGRESS_DISPATCH)
+        assert enq is not None and disp is not None
+        assert enq.t_ns < disp.t_ns
+
+    def test_eager_has_no_dispatch_at_all(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        tr = Tracer()
+        tr.attach(c)
+        g = new_("u64")
+        rput(1, g).wait()
+        assert tr.first(CostAction.PROGRESS_DISPATCH) is None
+        assert tr.first(CostAction.MEMCPY_8B) is not None
+
+
+class TestRendering:
+    def test_timeline_format(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        ctx.charge(CostAction.CPU_LOAD, times=2)
+        text = tr.format_timeline()
+        assert "cpu_load x2" in text
+        assert "rank" in text
+
+    def test_timeline_truncation(self, ctx):
+        tr = Tracer()
+        tr.attach(ctx)
+        for _ in range(60):
+            ctx.charge(CostAction.CPU_LOAD)
+        text = tr.format_timeline(limit=10)
+        assert "50 more events" in text

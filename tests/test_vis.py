@@ -1,0 +1,173 @@
+"""Tests for VIS (strided/indexed) RMA operations."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    barrier,
+    new_array,
+    progress,
+    rank_me,
+    rget_indexed,
+    rget_strided,
+    rput_indexed,
+    rput_strided,
+)
+from repro.errors import InvalidGlobalPointer
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.context import current_ctx
+from repro.runtime.runtime import spmd_run
+from tests.conftest import ALL_VERSIONS
+
+
+@pytest.mark.parametrize("version", ALL_VERSIONS)
+class TestStridedLocal:
+    def test_put_stride_2(self, versioned_ctx, version):
+        c = versioned_ctx(version)
+        g = new_array("u64", 8)
+        rput_strided([1, 2, 3, 4], g, 4, 2).wait()
+        assert list(g.local().view(8)) == [1, 0, 2, 0, 3, 0, 4, 0]
+
+    def test_get_stride_2(self, versioned_ctx, version):
+        versioned_ctx(version)
+        g = new_array("u64", 8)
+        rput_strided([5, 6, 7, 8], g, 4, 2).wait()
+        out = rget_strided(g, 4, 2).wait()
+        assert list(out) == [5, 6, 7, 8]
+
+    def test_negative_stride(self, versioned_ctx, version):
+        versioned_ctx(version)
+        g = new_array("u64", 4, fill=0)
+        rput_strided([1, 2], g + 3, 2, -3).wait()
+        assert list(g.local().view(4)) == [2, 0, 0, 1]
+
+    def test_stride_1_matches_bulk(self, versioned_ctx, version):
+        versioned_ctx(version)
+        g = new_array("u64", 4)
+        rput_strided([9, 9, 9, 9], g, 4, 1).wait()
+        assert list(g.local().view(4)) == [9] * 4
+
+
+class TestIndexedLocal:
+    def test_scatter_gather(self, ctx):
+        g = new_array("u64", 10)
+        rput_indexed([7, 8, 9], g, [1, 4, 9]).wait()
+        assert list(rget_indexed(g, [9, 4, 1]).wait()) == [9, 8, 7]
+
+    def test_duplicate_indices_last_wins(self, ctx):
+        g = new_array("u64", 4)
+        rput_indexed([1, 2], g, [0, 0]).wait()
+        assert g.local()[0] == 2
+
+    def test_float_elements(self, ctx):
+        g = new_array("f64", 4)
+        rput_indexed([0.5, 1.5], g, [0, 3]).wait()
+        out = rget_indexed(g, [0, 3]).wait()
+        assert list(out) == [0.5, 1.5]
+
+
+class TestValidation:
+    def test_null_pointer(self, ctx):
+        with pytest.raises(InvalidGlobalPointer):
+            rput_strided([1], GlobalPtr.NULL, 1, 1)
+        with pytest.raises(InvalidGlobalPointer):
+            rget_indexed(GlobalPtr.NULL, [0])
+
+    def test_zero_stride(self, ctx):
+        g = new_array("u64", 4)
+        with pytest.raises(ValueError):
+            rput_strided([1], g, 1, 0)
+        with pytest.raises(ValueError):
+            rget_strided(g, 1, 0)
+
+    def test_count_mismatch(self, ctx):
+        g = new_array("u64", 8)
+        with pytest.raises(ValueError):
+            rput_strided([1, 2], g, 3, 1)
+        with pytest.raises(ValueError):
+            rput_indexed([1], g, [0, 1])
+
+    def test_empty_indices(self, ctx):
+        g = new_array("u64", 4)
+        with pytest.raises(ValueError):
+            rget_indexed(g, [])
+
+    def test_out_of_segment_stride_detected(self, ctx):
+        from repro.errors import SegmentError
+
+        g = new_array("u64", 4)
+        with pytest.raises(SegmentError):
+            rput_strided(
+                np.arange(64, dtype=np.uint64), g, 64, 1 << 14
+            ).wait()
+
+
+class TestCrossRank:
+    def test_strided_put_to_peer(self):
+        def body():
+            g = new_array("u64", 8)
+            barrier()
+            if rank_me() == 0:
+                target = GlobalPtr(1, g.offset, g.ts)
+                rput_strided([1, 2, 3], target, 3, 3).wait()
+            barrier()
+            return list(g.local().view(8))
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[1] == [1, 0, 0, 2, 0, 0, 3, 0]
+
+    def test_indexed_get_from_peer(self):
+        def body():
+            g = new_array("u64", 6)
+            view = current_ctx().segment.view_array(g.offset, g.ts, 6)
+            view[:] = [10 * rank_me() + i for i in range(6)]
+            barrier()
+            peer = GlobalPtr((rank_me() + 1) % 2, g.offset, g.ts)
+            out = list(rget_indexed(peer, [5, 0]).wait())
+            barrier()
+            return out
+
+        res = spmd_run(body, ranks=2)
+        assert res.values[0] == [15, 10]
+        assert res.values[1] == [5, 0]
+
+    def test_offnode_strided_roundtrip(self):
+        def body():
+            g = new_array("u64", 6)
+            barrier()
+            if rank_me() == 0:
+                remote = GlobalPtr(1, g.offset, g.ts)
+                rput_strided([4, 5, 6], remote, 3, 2).wait()
+                out = rget_strided(remote, 3, 2).wait()
+                current_ctx().world._vis_done = True  # type: ignore
+                barrier()
+                return list(out)
+            ctx = current_ctx()
+            while not getattr(ctx.world, "_vis_done", False):
+                progress()
+                ctx.yield_to_others()
+            barrier()
+            return list(g.local().view(6))
+
+        res = spmd_run(body, ranks=2, n_nodes=2, conduit="udp")
+        assert res.values[0] == [4, 5, 6]
+        assert res.values[1] == [4, 0, 5, 0, 6, 0]
+
+
+class TestEagerSemantics:
+    def test_local_strided_eager_ready(self, versioned_ctx):
+        from repro.runtime.config import Version
+
+        versioned_ctx(Version.V2021_3_6_EAGER)
+        g = new_array("u64", 4)
+        assert rput_strided([1, 1], g, 2, 2).is_ready()
+
+    def test_local_strided_defer_not_ready(self, versioned_ctx):
+        from repro.runtime.config import Version
+
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        g = new_array("u64", 4)
+        f = rput_strided([1, 1], g, 2, 2)
+        assert not f.is_ready()
+        c.progress()
+        assert f.is_ready()

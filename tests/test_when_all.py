@@ -1,0 +1,143 @@
+"""Unit tests for ``when_all`` conjoining and the §III-C short-cuts."""
+
+import pytest
+
+from repro.core.cell import PromiseCell
+from repro.core.future import Future, make_future
+from repro.core.when_all import when_all
+from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
+
+
+def pending(nvalues=0):
+    return Future(PromiseCell(nvalues=nvalues, deps=1))
+
+
+class TestSemantics:
+    def test_empty_is_ready_valueless(self, ctx):
+        f = when_all()
+        assert f.is_ready() and f.result() is None
+
+    def test_all_ready_valueless(self, ctx):
+        f = when_all(make_future(), make_future())
+        assert f.is_ready()
+
+    def test_value_concatenation_order(self, ctx):
+        f = when_all(make_future(1), make_future(), make_future(2, 3))
+        assert f.result_tuple() == (1, 2, 3)
+
+    def test_plain_values_wrapped(self, ctx):
+        f = when_all(5, make_future(6))
+        assert f.result_tuple() == (5, 6)
+
+    def test_readiness_requires_all(self, ctx):
+        p1, p2 = pending(), pending()
+        f = when_all(p1, p2)
+        assert not f._cell.ready
+        p1._cell.fulfill()
+        assert not f._cell.ready
+        p2._cell.fulfill()
+        assert f._cell.ready
+
+    def test_pending_values_gathered(self, ctx):
+        p1, p2 = pending(1), pending(1)
+        f = when_all(p1, p2)
+        p2._cell.values = (20,)
+        p2._cell.fulfill()
+        p1._cell.values = (10,)
+        p1._cell.fulfill()
+        assert f.result_tuple() == (10, 20)  # argument order, not readiness
+
+    def test_mixed_ready_and_pending(self, ctx):
+        p = pending(1)
+        f = when_all(make_future(1), p, make_future(3))
+        assert not f._cell.ready
+        p._cell.values = (2,)
+        p._cell.fulfill()
+        assert f.result_tuple() == (1, 2, 3)
+
+    def test_conjoining_loop_idiom(self, ctx):
+        """The §II-A loop: f = when_all(f, op) over value-less futures."""
+        f = make_future()
+        pendings = [pending() for _ in range(10)]
+        for p in pendings:
+            f = when_all(f, p)
+        assert not f._cell.ready
+        for p in pendings:
+            p._cell.fulfill()
+        assert f._cell.ready
+
+
+class TestShortcuts:
+    """§III-C: the optimized when_all returns inputs directly."""
+
+    def test_single_contributor_returned_directly(self, versioned_ctx):
+        versioned_ctx(Version.V2021_3_6_EAGER)
+        p = pending()
+        f = when_all(make_future(), p, make_future())
+        assert f is p
+
+    def test_value_bearing_ready_contributor_returned(self, versioned_ctx):
+        versioned_ctx(Version.V2021_3_6_EAGER)
+        v = make_future(1, 2)
+        f = when_all(v, make_future())
+        assert f is v
+
+    def test_all_ready_valueless_returns_input(self, versioned_ctx):
+        versioned_ctx(Version.V2021_3_6_EAGER)
+        a, b = make_future(), make_future()
+        assert when_all(a, b) is a
+
+    def test_two_contributors_build_graph(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        before = c.costs.count(CostAction.WHEN_ALL_NODE_BUILD)
+        f = when_all(pending(), pending())
+        assert f is not None
+        assert c.costs.count(CostAction.WHEN_ALL_NODE_BUILD) == before + 1
+
+    def test_shortcut_builds_no_graph(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        before = c.costs.count(CostAction.WHEN_ALL_NODE_BUILD)
+        a0 = c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL)
+        when_all(make_future(), make_future(), make_future())
+        assert c.costs.count(CostAction.WHEN_ALL_NODE_BUILD) == before
+        assert c.costs.count(CostAction.HEAP_ALLOC_PROMISE_CELL) == a0
+
+    def test_legacy_always_builds_graph(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_0)
+        before = c.costs.count(CostAction.WHEN_ALL_NODE_BUILD)
+        a, b = make_future(), make_future()
+        f = when_all(a, b)
+        assert f is not a and f is not b
+        assert f.is_ready()
+        assert c.costs.count(CostAction.WHEN_ALL_NODE_BUILD) == before + 1
+
+    def test_shortcut_equivalence_with_legacy(self, versioned_ctx):
+        """Both implementations produce semantically identical results."""
+        for version in (Version.V2021_3_0, Version.V2021_3_6_EAGER):
+            versioned_ctx(version)
+            p = pending(1)
+            f = when_all(make_future(), p)
+            assert not f._cell.ready
+            p._cell.values = (9,)
+            p._cell.fulfill()
+            assert f.result_tuple() == (9,)
+
+
+class TestCostScaling:
+    def test_legacy_conjoining_cost_linear_in_ops(self, versioned_ctx):
+        """Figure 1's dependency graph: N conjoins → N nodes, ≥N edges."""
+        c = versioned_ctx(Version.V2021_3_0)
+        n0 = c.costs.count(CostAction.WHEN_ALL_NODE_BUILD)
+        f = make_future()
+        for _ in range(20):
+            f = when_all(f, make_future())
+        assert c.costs.count(CostAction.WHEN_ALL_NODE_BUILD) == n0 + 20
+
+    def test_optimized_conjoining_of_ready_inputs_is_flat(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        n0 = c.costs.count(CostAction.WHEN_ALL_NODE_BUILD)
+        f = make_future()
+        for _ in range(20):
+            f = when_all(f, make_future())
+        assert c.costs.count(CostAction.WHEN_ALL_NODE_BUILD) == n0

@@ -1,0 +1,74 @@
+"""Diagnostic tool: per-operation cost breakdowns with the tracer.
+
+Prints, for each (build × operation), the exact sequence of cost-model
+events on the critical path — the "receipt" behind every microbenchmark
+number, and the quickest way to see what eager notification removes.
+
+Usage::
+
+    python tools/diagnose.py [machine]
+"""
+
+import sys
+
+from repro import (
+    AtomicDomain,
+    new_,
+    operation_cx,
+    rget,
+    rget_into,
+    rput,
+)
+from repro.runtime.config import RuntimeConfig, Version
+from repro.runtime.context import set_current_ctx
+from repro.runtime.runtime import build_world
+from repro.sim.trace import Tracer
+
+OPS = {
+    "put": lambda: rput(0, new_("u64"), operation_cx.as_future()).wait(),
+    "get": lambda: rget(new_("u64"), operation_cx.as_future()).wait(),
+    "get_nv": lambda: rget_into(
+        new_("u64"), new_("u64"), 1, operation_cx.as_future()
+    ).wait(),
+    "fadd": lambda: AtomicDomain({"fetch_add"})
+    .fetch_add(new_("u64"), 1, operation_cx.as_future())
+    .wait(),
+}
+
+
+def breakdown(version: Version, machine: str, op: str) -> tuple[float, str]:
+    world = build_world(
+        RuntimeConfig(version=version, machine=machine, conduit="smp")
+    )
+    ctx = world.contexts[0]
+    set_current_ctx(ctx)
+    try:
+        OPS[op]()  # warm up allocation paths outside the trace
+        tracer = Tracer()
+        tracer.attach(ctx)
+        t0 = ctx.clock.now_ns
+        OPS[op]()
+        elapsed = ctx.clock.now_ns - t0
+        tracer.detach(ctx)
+        lines = []
+        for e in tracer.events:
+            cost = ctx.profile.cost_ns(e.action) * e.times
+            label = e.action.value + (f" x{e.times}" if e.times > 1 else "")
+            lines.append(f"    {cost:7.1f} ns  {label}")
+        return elapsed, "\n".join(lines)
+    finally:
+        set_current_ctx(None)
+
+
+def main(machine: str = "intel") -> None:
+    for op in OPS:
+        print(f"=== {op} on {machine} " + "=" * 30)
+        for version in (Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER):
+            total, detail = breakdown(version, machine, op)
+            print(f"  {version.value}: {total:.1f} ns")
+            print(detail)
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "intel")

@@ -10,6 +10,12 @@
    (the conjoined-chain length): the deferred build's penalty per update
    should stay roughly flat (it is per-op), while wait-amortization makes
    tiny batches slightly worse.
+4. **Aggregation** — destination-batched AM coalescing in the off-node
+   regime: the ``agg`` GUPS variant must cut AM injections >= 2x and
+   lower the per-update time, and the win must *compose* with eager
+   notification (measured on ``amo_promise``, where both effects apply
+   to disjoint parts of each update: aggregation to the off-node request,
+   eager to the on-node completion).
 """
 
 from benchmarks.conftest import bench_scale, write_figure
@@ -17,7 +23,7 @@ from repro.apps.dht import DhtConfig, run_dht
 from repro.apps.gups import GupsConfig, run_gups
 from repro.apps.stencil import StencilConfig, run_stencil
 from repro.bench.report import format_table
-from repro.runtime.config import Version
+from repro.runtime.config import Version, flags_for
 
 V0 = Version.V2021_3_0
 VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
@@ -139,6 +145,115 @@ def test_gups_batch_sensitivity(benchmark, figure_dir):
             ranks=4,
             version=VE,
             machine="intel",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def _agg_grid(variant, s, agg_states=(False, True)):
+    """Run one GUPS variant over builds x aggregation (8 ranks, 4 nodes,
+    ibv conduit: the off-node regime aggregation targets)."""
+    cfg = GupsConfig(
+        variant=variant, table_log2=12, updates_per_rank=256 * s, batch=32
+    )
+    grid = {}
+    for v in (VD, VE):
+        for agg in agg_states:
+            fl = flags_for(v).replace(
+                am_aggregation=agg, agg_max_entries=32
+            )
+            r = run_gups(
+                cfg,
+                ranks=8,
+                n_nodes=4,
+                version=v,
+                machine="intel",
+                conduit="ibv",
+                flags=fl,
+            )
+            assert r.matches_oracle, f"{variant} {v.value} agg={agg}"
+            grid[v, agg] = r
+    return cfg, grid
+
+
+def test_gups_agg_extension(benchmark, figure_dir):
+    s = bench_scale()
+    sections = []
+
+    # -- headline: the agg variant (pure one-sided rpc_ff updates) --------
+    cfg, grid = _agg_grid("agg", s)
+    updates = cfg.updates_per_rank * 8
+    rows = []
+    for (v, agg), r in grid.items():
+        mean = (
+            f"{r.am_agg_entries / r.am_bundles:.1f}" if r.am_bundles else "-"
+        )
+        rows.append([
+            v.value,
+            "on" if agg else "off",
+            f"{r.solve_ns / 1e3:.1f}",
+            f"{r.solve_ns / updates:.0f}",
+            str(r.am_injects),
+            str(r.am_bundles),
+            mean,
+        ])
+    sections.append(format_table(
+        "Extension: GUPS agg variant with destination-batched AMs "
+        "(Intel, ibv, 8 ranks / 4 nodes)",
+        ["build", "agg", "solve us", "ns/update", "AM injects",
+         "bundles", "mean bundle"],
+        rows,
+    ))
+    for v in (VD, VE):
+        off, on = grid[v, False], grid[v, True]
+        assert off.am_injects / on.am_injects >= 2.0, v.value
+        assert on.solve_ns < off.solve_ns, v.value
+
+    # -- composition: amo_promise, where eager notification also bites ----
+    _, pgrid = _agg_grid("amo_promise", s)
+    rows = []
+    for (v, agg), r in pgrid.items():
+        rows.append([
+            v.value,
+            "on" if agg else "off",
+            f"{r.solve_ns / 1e3:.1f}",
+            str(r.am_injects),
+        ])
+    eager_gain_off = pgrid[VD, False].solve_ns / pgrid[VE, False].solve_ns
+    eager_gain_on = pgrid[VD, True].solve_ns / pgrid[VE, True].solve_ns
+    rows.append(["eager gain", "off", f"{eager_gain_off:.3f}x", ""])
+    rows.append(["eager gain", "on", f"{eager_gain_on:.3f}x", ""])
+    sections.append(format_table(
+        "Composition: GUPS amo_promise, eager x aggregation "
+        "(Intel, ibv, 8 ranks / 4 nodes)",
+        ["build", "agg", "solve us", "AM injects"],
+        rows,
+    ))
+    write_figure(figure_dir, "ext_gups_agg.txt", "\n".join(sections))
+
+    # the two optimizations attack different costs and must stack:
+    # aggregation helps both builds, eager keeps its gain under
+    # aggregation, and eager+agg is the best cell of the grid
+    for v in (VD, VE):
+        assert pgrid[v, True].solve_ns < pgrid[v, False].solve_ns, v.value
+    assert eager_gain_on > 1.005
+    best = min(r.solve_ns for r in pgrid.values())
+    assert pgrid[VE, True].solve_ns == best
+    # eager never hurts the agg variant itself (no completions to defer)
+    assert grid[VE, True].solve_ns <= grid[VD, True].solve_ns
+
+    benchmark.pedantic(
+        lambda: run_gups(
+            GupsConfig(
+                variant="agg", table_log2=10, updates_per_rank=32, batch=8
+            ),
+            ranks=4,
+            n_nodes=2,
+            version=VE,
+            machine="intel",
+            conduit="ibv",
+            flags=flags_for(VE).replace(am_aggregation=True),
         ),
         rounds=3,
         iterations=1,

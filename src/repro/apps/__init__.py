@@ -10,7 +10,13 @@
 
 from repro.apps.dht import DhtConfig, DhtResult, DistributedHashMap, run_dht
 from repro.apps.graphs import GRAPH_NAMES, Graph, locality_fractions, make_graph
-from repro.apps.gups import GUPS_VARIANTS, GupsConfig, GupsResult, run_gups
+from repro.apps.gups import (
+    GUPS_VARIANTS,
+    PAPER_GUPS_VARIANTS,
+    GupsConfig,
+    GupsResult,
+    run_gups,
+)
 from repro.apps.matching import MatchingConfig, MatchingResult, run_matching
 from repro.apps.stencil import (
     StencilConfig,
@@ -21,6 +27,7 @@ from repro.apps.stencil import (
 
 __all__ = [
     "GUPS_VARIANTS",
+    "PAPER_GUPS_VARIANTS",
     "GupsConfig",
     "GupsResult",
     "run_gups",

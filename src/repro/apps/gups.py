@@ -27,6 +27,18 @@ Six variants, exactly the paper's:
 ``amo_future``
     remote atomic ``bit_xor`` per update, future-conjoined per batch.
 
+A seventh variant goes beyond the paper:
+
+``agg``
+    one-sided fire-and-forget updates (``rpc_ff`` applying the xor at the
+    owner) with **no per-update reply**; termination is a barrier /
+    drain-inbox / barrier protocol, so the result is exact.  On a
+    multi-node world with ``flags.am_aggregation`` enabled, the AM
+    aggregation layer coalesces the per-destination update messages into
+    bundles — the destination-batching optimization that attacks the
+    injection/latency costs eager notification cannot (§IV-A).
+
+
 Every variant charges the same per-update "application work": the HPCC
 random-number step, index arithmetic, and one random DRAM access (the
 table is far larger than cache).  The runtime overhead differences between
@@ -61,7 +73,8 @@ from repro.runtime.config import Version
 from repro.runtime.runtime import SpmdResult, spmd_run
 from repro.sim.costmodel import CostAction
 
-GUPS_VARIANTS = (
+#: the paper's six variants (Figures 5-7 grid)
+PAPER_GUPS_VARIANTS = (
     "raw",
     "manual",
     "rma_promise",
@@ -69,6 +82,9 @@ GUPS_VARIANTS = (
     "amo_promise",
     "amo_future",
 )
+
+#: all variants, including the beyond-the-paper aggregation one
+GUPS_VARIANTS = PAPER_GUPS_VARIANTS + ("agg",)
 
 _MASK64 = (1 << 64) - 1
 _POLY = 0x0000000000000007
@@ -138,6 +154,11 @@ class GupsResult:
     #: final table contents (concatenated across ranks), for HPCC-style
     #: verification
     table: "np.ndarray | None" = None
+
+    #: world-wide AM traffic counters (what destination batching reduces)
+    am_injects: int = 0
+    am_bundles: int = 0
+    am_agg_entries: int = 0
 
     @property
     def matches_oracle(self) -> bool:
@@ -321,6 +342,40 @@ def _run_amo_future(ctx, cfg, bases, per_rank, stream):
         fut.wait()
 
 
+def _run_agg(ctx, cfg, bases, per_rank, stream):
+    """One-sided fire-and-forget updates, destination-batched by the AM
+    aggregation layer when ``flags.am_aggregation`` is on.
+
+    Each update ships as a reply-less ``rpc_ff`` applying the xor at the
+    owner (on-node owners still take the direct PSHM AM path).  With no
+    acks there is no completion to wait on, so exactness comes from a
+    termination protocol: after the first barrier every rank's buffered
+    bundles have been flushed and every update is sitting in some inbox;
+    draining the local inbox to quiescence and re-synchronizing therefore
+    observes every update (handlers send no further AMs).
+    """
+    from repro.rpc import rpc_ff
+
+    ts = bases[0].ts
+
+    def apply_update(offset, ran):
+        tctx = current_ctx()
+        tctx.charge(CostAction.CPU_LOAD)
+        tctx.charge(CostAction.CPU_STORE)
+        seg = tctx.segment
+        old = seg.read_scalar(offset, ts)
+        seg.write_scalar(offset, ts, (int(old) ^ ran) & _MASK64)
+
+    for ran in stream:
+        _charge_update_work(ctx)
+        dest = _target(bases, per_rank, ran)
+        rpc_ff(dest.rank, apply_update, dest.offset, ran)
+    barrier()  # all updates injected (buffers flush on barrier progress)
+    while ctx.progress():  # drain: handlers generate no new AMs
+        pass
+    barrier()  # nobody reads its table part before everyone drained
+
+
 _VARIANT_BODIES = {
     "raw": _run_raw,
     "manual": _run_manual,
@@ -328,6 +383,7 @@ _VARIANT_BODIES = {
     "rma_future": _run_rma_future,
     "amo_promise": _run_amo_promise,
     "amo_future": _run_amo_future,
+    "agg": _run_agg,
 }
 
 
@@ -343,6 +399,7 @@ def run_gups(
     version: Version = Version.V2021_3_6_EAGER,
     machine: str = "intel",
     conduit: str | None = None,
+    n_nodes: int = 1,
     flags=None,
     noise: float = 0.0,
     noise_seed: int = 0,
@@ -351,6 +408,8 @@ def run_gups(
 
     The solve time is the maximum across ranks of the barrier-to-barrier
     update loop (all clocks synchronize at the closing barrier).
+    ``n_nodes > 1`` spreads the ranks over several simulated nodes (the
+    off-node regime the ``agg`` variant targets; pick a non-smp conduit).
     """
     n = 1 << cfg.table_log2
     seg_bytes = max(1 << 16, (n // ranks + cfg.batch + 64) * 8 * 2)
@@ -360,6 +419,7 @@ def run_gups(
         version=version,
         machine=machine,
         conduit=conduit,
+        n_nodes=n_nodes,
         # the world seed only feeds timing jitter; the update streams are
         # derived from cfg.seed, so noisy samples share one workload
         seed=cfg.seed + 7919 * noise_seed,
@@ -384,4 +444,7 @@ def run_gups(
         checksum=checksum,
         oracle_checksum=oracle,
         table=np.concatenate([v[2] for v in res.values]),
+        am_injects=res.world.total_count(CostAction.AM_INJECT),
+        am_bundles=res.world.total_count(CostAction.AM_BUNDLE_HEADER),
+        am_agg_entries=res.world.total_count(CostAction.AM_AGG_APPEND),
     )

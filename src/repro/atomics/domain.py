@@ -277,7 +277,8 @@ class AtomicDomain:
             )
 
         ctx.conduit.send_am(
-            ctx, target.rank, on_target, nbytes=ts.size, label="amo_req"
+            ctx, target.rank, on_target, nbytes=ts.size, label="amo_req",
+            aggregatable=True,
         )
         return disp.result()
 

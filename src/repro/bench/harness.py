@@ -168,11 +168,12 @@ def gups_grid(
     batch: int = 32,
     seed: int = 1,
 ) -> dict[tuple[str, Version], GupsResult]:
-    """All GUPS variants × versions on one machine."""
-    from repro.apps.gups import GUPS_VARIANTS
+    """The paper's GUPS variants × versions on one machine (pass
+    ``variants`` explicitly to include the beyond-paper ``agg`` one)."""
+    from repro.apps.gups import PAPER_GUPS_VARIANTS
 
     if variants is None:
-        variants = GUPS_VARIANTS
+        variants = PAPER_GUPS_VARIANTS
     out = {}
     for variant in variants:
         cfg = GupsConfig(

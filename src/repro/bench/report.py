@@ -102,7 +102,10 @@ def format_gups_figure(title: str, grid: dict) -> str:
         "eager/defer",
     ]
     rows = []
+    present = {variant for (variant, _v) in grid}
     for variant in GUPS_VARIANTS:
+        if variant not in present:
+            continue
         cells = [variant]
         vals = []
         for v in _V:

@@ -9,6 +9,9 @@ package provides the same structure:
   path (synchronous completion) and an active-message path (asynchronous,
   completion via progress);
 * :mod:`repro.gasnet.am` — the active-message queues;
+* :mod:`repro.gasnet.aggregator` — destination-batched coalescing of
+  small off-node AMs into bundled messages (flush policies + the
+  completion-semantics gate);
 * :mod:`repro.gasnet.events` — ``gex_Event``-style handles reporting
   whether the underlying operation completed synchronously (the dynamic
   information eager notification keys off, §III-A);
@@ -17,12 +20,14 @@ package provides the same structure:
 
 from repro.gasnet.events import GexEvent
 from repro.gasnet.am import ActiveMessage
+from repro.gasnet.aggregator import AmAggregator
 from repro.gasnet.conduit import Conduit, make_conduit, CONDUIT_NAMES
 from repro.gasnet.team import Team
 
 __all__ = [
     "GexEvent",
     "ActiveMessage",
+    "AmAggregator",
     "Conduit",
     "make_conduit",
     "CONDUIT_NAMES",

@@ -18,6 +18,17 @@ The data plane of on-node operations never passes through here — the RMA /
 atomics layers use shared-memory bypass after a reachability check — but
 every asynchronous operation (off-node RMA/AMO, every RPC) is an AM pair
 routed through this layer.
+
+Reachability checks are served from a per-rank node-id memo built once at
+construction (the topology is static), so the check on every on-node
+fast-path operation is a pair of list indexes rather than repeated
+``World`` arithmetic; :data:`Conduit.pshm_cache_hits` counts lookups (see
+:func:`repro.sim.stats.pshm_cache_hits`).
+
+Small off-node AMs marked ``aggregatable`` by the operation layers are
+diverted to the rank's :class:`~repro.gasnet.aggregator.AmAggregator`
+(when ``flags.am_aggregation`` is on) and later delivered as one bundled
+AM via :meth:`Conduit.send_bundle`.
 """
 
 from __future__ import annotations
@@ -26,9 +37,11 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import UpcxxError
 from repro.gasnet.am import ActiveMessage, AmInbox
+from repro.gasnet.aggregator import BUNDLE_HEADER_BYTES, ENTRY_HEADER_BYTES
 from repro.sim.costmodel import CostAction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.gasnet.aggregator import AggEntry
     from repro.runtime.context import RankContext
     from repro.runtime.runtime import World
 
@@ -51,6 +64,14 @@ class Conduit:
             raise UpcxxError(
                 f"unknown conduit {name!r}; known: {CONDUIT_NAMES}"
             )
+        if name not in _OFFNODE_FACTOR:
+            # validate the latency model up front so a future conduit name
+            # fails at construction with the known-names list, not with a
+            # bare KeyError deep inside am_latency_ns
+            raise UpcxxError(
+                f"conduit {name!r} has no off-node latency model; "
+                f"modeled: {sorted(_OFFNODE_FACTOR)}"
+            )
         self.name = name
         self.world = world
         self._inboxes = [AmInbox() for _ in range(world.size)]
@@ -58,13 +79,31 @@ class Conduit:
             raise UpcxxError(
                 "the smp conduit supports single-node worlds only"
             )
+        #: static-topology memo: node id per rank (the topology never
+        #: changes after construction, so reachability is two list indexes)
+        self._node_of: tuple[int, ...] = tuple(
+            world.node_of(r) for r in range(world.size)
+        )
+        #: lookups served from the node-id memo (every check hits: the
+        #: memo is total over the static topology)
+        self.pshm_cache_hits = 0
 
     # -- reachability -----------------------------------------------------
+
+    def _same_node(self, a: int, b: int) -> bool:
+        """Memoized ``world.same_node`` (counts towards the hit counter)."""
+        self.pshm_cache_hits += 1
+        nodes = self._node_of
+        if 0 <= a < len(nodes) and 0 <= b < len(nodes):
+            return nodes[a] == nodes[b]
+        raise UpcxxError(
+            f"rank pair ({a}, {b}) out of range (size {len(nodes)})"
+        )
 
     def pshm_reachable(self, from_rank: int, to_rank: int) -> bool:
         """Whether ``to_rank``'s segment is mapped into ``from_rank``'s
         address space (same node: PSHM, or same rank)."""
-        return self.world.same_node(from_rank, to_rank)
+        return self._same_node(from_rank, to_rank)
 
     def am_latency_ns(
         self, src_rank: int, dst_rank: int, nbytes: int = 0
@@ -72,9 +111,15 @@ class Conduit:
         """One-way delivery time: base latency plus a bandwidth term for
         the payload (on-node queues are effectively memcpy-bound; the
         per-byte cost is already charged CPU-side there)."""
-        if self.world.same_node(src_rank, dst_rank):
+        if self._same_node(src_rank, dst_rank):
             return _PSHM_AM_LATENCY_NS
-        factor = _OFFNODE_FACTOR[self.name]
+        try:
+            factor = _OFFNODE_FACTOR[self.name]
+        except KeyError:
+            raise UpcxxError(
+                f"conduit {self.name!r} has no off-node latency model; "
+                f"modeled: {sorted(_OFFNODE_FACTOR)}"
+            ) from None
         if factor is None:
             raise UpcxxError("smp conduit cannot reach off-node ranks")
         base = self.world.profile.network_latency_ns * factor
@@ -92,11 +137,28 @@ class Conduit:
         args: tuple = (),
         nbytes: int = 0,
         label: str = "am",
+        aggregatable: bool = False,
     ) -> None:
         """Inject an AM: charges injection (+ payload copy) on the sender
-        and enqueues for delivery at ``now + latency`` on the target."""
+        and enqueues for delivery at ``now + latency`` on the target.
+
+        ``aggregatable`` marks AMs eligible for destination batching (the
+        request side of an operation).  AMs delivering source/operation
+        completions must stay ``aggregatable=False`` — an initiator may
+        spin on the completion before its next progress call, and a parked
+        notification would stall that spin (the aggregation correctness
+        gate).  Eligible off-node AMs are parked in the sender's
+        aggregator instead of being injected, when aggregation is on.
+        """
         if not (0 <= dst_rank < self.world.size):
             raise UpcxxError(f"AM to invalid rank {dst_rank}")
+        if aggregatable:
+            agg = src_ctx.am_agg
+            if agg is not None and not self._same_node(
+                src_ctx.rank, dst_rank
+            ):
+                agg.append(dst_rank, handler, args, nbytes, label)
+                return
         src_ctx.charge(CostAction.AM_INJECT)
         if nbytes:
             src_ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
@@ -112,6 +174,44 @@ class Conduit:
                 nbytes=nbytes,
                 arrival_ns=arrival,
                 label=label,
+            )
+        )
+
+    def send_bundle(
+        self,
+        src_ctx: "RankContext",
+        dst_rank: int,
+        entries: list["AggEntry"],
+        payload_bytes: int,
+    ) -> None:
+        """Ship a flushed destination buffer as one bundled AM.
+
+        Cost model: the sender pays one ``AM_INJECT`` plus one
+        ``AM_BUNDLE_HEADER`` and the header/framing bytes (the per-entry
+        payload bytes were charged at append time); the bundle crosses the
+        network in one latency hop sized by the full wire footprint.  The
+        receiver pays one ``AM_EXECUTE`` for the bundle (charged by
+        :meth:`poll`) plus ``AM_BUNDLE_ENTRY_DISPATCH`` per entry.
+        """
+        if not entries:
+            return
+        src_ctx.charge(CostAction.AM_BUNDLE_HEADER)
+        src_ctx.charge(CostAction.AM_INJECT)
+        framing = BUNDLE_HEADER_BYTES + ENTRY_HEADER_BYTES * len(entries)
+        src_ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, framing)
+        wire_bytes = payload_bytes + framing
+        arrival = src_ctx.clock.now_ns + self.am_latency_ns(
+            src_ctx.rank, dst_rank, wire_bytes
+        )
+        self._inboxes[dst_rank].push(
+            ActiveMessage(
+                src_rank=src_ctx.rank,
+                dst_rank=dst_rank,
+                handler=_deliver_bundle,
+                args=(entries,),
+                nbytes=wire_bytes,
+                arrival_ns=arrival,
+                label=f"am_bundle[{len(entries)}]",
             )
         )
 
@@ -138,6 +238,13 @@ class Conduit:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Conduit {self.name} world={self.world.size}>"
+
+
+def _deliver_bundle(tctx: "RankContext", entries: list["AggEntry"]) -> None:
+    """Replay a bundle's entries in append order on the target rank."""
+    for entry in entries:
+        tctx.charge(CostAction.AM_BUNDLE_ENTRY_DISPATCH)
+        entry.handler(tctx, *entry.args)
 
 
 def make_conduit(name: str, world: "World") -> Conduit:

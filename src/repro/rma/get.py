@@ -181,5 +181,8 @@ def _remote_get(ctx, disp, src: GlobalPtr, *, count, dest, bulk=False):
             tctx, initiator, on_reply, nbytes=nbytes, label="get_reply"
         )
 
-    ctx.conduit.send_am(ctx, src.rank, on_target, nbytes=0, label="get_req")
+    ctx.conduit.send_am(
+        ctx, src.rank, on_target, nbytes=0, label="get_req",
+        aggregatable=True,
+    )
     return disp.result()

@@ -27,12 +27,16 @@ def _ship_remote_rpcs(ctx, disp: CxDispatcher, dest_rank: int) -> None:
     """Remote-completion RPCs always travel as AMs to the target (even a
     co-located one), executing there inside its progress engine."""
     for req in disp.rpc_requests():
+        # fire-and-forget at the target: nobody spins on it, so it may
+        # ride in a bundle (the ack below must not — see the aggregation
+        # correctness gate)
         ctx.conduit.send_am(
             ctx,
             dest_rank,
             lambda tctx, r=req: r.fn(*r.args),
             nbytes=0,
             label="remote_cx_rpc",
+            aggregatable=True,
         )
 
 
@@ -88,7 +92,8 @@ def _remote_put(ctx, disp: CxDispatcher, dest: GlobalPtr, payload, nbytes: int):
         )
 
     ctx.conduit.send_am(
-        ctx, dest.rank, on_target, nbytes=nbytes, label="put_req"
+        ctx, dest.rank, on_target, nbytes=nbytes, label="put_req",
+        aggregatable=True,
     )
     return disp.result()
 

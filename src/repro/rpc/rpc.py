@@ -81,7 +81,9 @@ def rpc(target: int, fn: Callable, *args,
         else:
             _reply(tctx, initiator, pending, value=result)
 
-    ctx.conduit.send_am(ctx, target, on_target, nbytes=nbytes, label="rpc")
+    ctx.conduit.send_am(
+        ctx, target, on_target, nbytes=nbytes, label="rpc", aggregatable=True
+    )
     return disp.result()
 
 
@@ -120,4 +122,7 @@ def rpc_ff(target: int, fn: Callable, *args) -> None:
                 f"rpc_ff callback raised on rank {tctx.rank}: {exc!r}"
             ) from exc
 
-    ctx.conduit.send_am(ctx, target, on_target, nbytes=nbytes, label="rpc_ff")
+    ctx.conduit.send_am(
+        ctx, target, on_target, nbytes=nbytes, label="rpc_ff",
+        aggregatable=True,
+    )

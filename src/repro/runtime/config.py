@@ -65,6 +65,16 @@ class FeatureFlags:
     nonvalue_fetching_atomics:
         The new ``fetch_*_into`` atomic overloads that write the fetched
         value to memory instead of the notification (§III-B).
+    am_aggregation:
+        Destination-batched coalescing of small off-node AMs into bundled
+        messages (see :mod:`repro.gasnet.aggregator`).  Off by default on
+        every build: it is an extension beyond the paper, orthogonal to
+        eager/deferred notification, and with it off the runtime behaves
+        bit-identically to the seed.
+    agg_max_entries / agg_max_bytes:
+        Aggregator auto-flush thresholds: a destination buffer flushes
+        when it holds this many entries or payload bytes (only consulted
+        when ``am_aggregation`` is on).
     """
 
     eager_notification: bool
@@ -74,8 +84,11 @@ class FeatureFlags:
     ready_future_shared_cell: bool
     when_all_shortcuts: bool
     nonvalue_fetching_atomics: bool
+    am_aggregation: bool = False
+    agg_max_entries: int = 32
+    agg_max_bytes: int = 4096
 
-    def replace(self, **kw: bool) -> "FeatureFlags":
+    def replace(self, **kw) -> "FeatureFlags":
         """A copy with the given flags overridden (ablation support)."""
         return replace(self, **kw)
 

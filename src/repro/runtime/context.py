@@ -26,6 +26,7 @@ from repro.sim.costmodel import CostAction, CostModel
 from repro.sim.machines import MachineProfile
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.gasnet.aggregator import AmAggregator
     from repro.gasnet.conduit import Conduit
     from repro.memory.allocator import SharedAllocator
     from repro.memory.segment import Segment
@@ -70,6 +71,9 @@ class RankContext:
         self.segment: "Segment" = None  # type: ignore[assignment]
         self.allocator: "SharedAllocator" = None  # type: ignore[assignment]
         self.conduit: "Conduit" = None  # type: ignore[assignment]
+        #: per-rank AM aggregator; wired by the runtime only when
+        #: ``flags.am_aggregation`` is set (None → zero overhead)
+        self.am_agg: Optional["AmAggregator"] = None
         self.scheduler: Optional["CooperativeScheduler"] = None
         self._barrier_epoch = 0
 
@@ -138,7 +142,21 @@ class RankContext:
         simulated world this is true for every rank sharing our "node"
         (the whole world unless the world was built multi-node).
         """
+        conduit = self.conduit
+        if conduit is not None:
+            # served from the conduit's static-topology memo (counted)
+            return conduit.pshm_reachable(self.rank, rank)
         return self.world.same_node(self.rank, rank)
+
+    # -- AM aggregation -----------------------------------------------------
+
+    def flush_aggregation(self) -> int:
+        """Flush all buffered (destination-batched) AMs; returns entries
+        shipped (0 when aggregation is off or nothing is buffered)."""
+        agg = self.am_agg
+        if agg is not None and agg.has_pending():
+            return agg.flush_all()
+        return 0
 
 
 # ---------------------------------------------------------------------------

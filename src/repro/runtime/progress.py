@@ -93,6 +93,11 @@ class ProgressEngine:
         self._in_progress = True
         did_work = False
         try:
+            # publish destination-batched AMs before doing anything else:
+            # progress entry is a flush point (covers barrier()/wait() too,
+            # which drive their waits through this method)
+            if ctx.flush_aggregation():
+                did_work = True
             for poll in self._pollers:
                 if poll():
                     did_work = True
@@ -111,6 +116,11 @@ class ProgressEngine:
                 for poll in self._pollers:
                     if poll():
                         did_work = True
+            # handlers run during the drain may have buffered new
+            # aggregatable AMs; flush before returning so nothing is
+            # stranded while this rank blocks (e.g. inside a barrier)
+            if ctx.flush_aggregation():
+                did_work = True
         finally:
             self._in_progress = False
         return did_work

@@ -30,6 +30,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.cell import PromiseCell
 from repro.errors import UpcxxError
+from repro.gasnet.aggregator import AmAggregator
 from repro.gasnet.conduit import Conduit, make_conduit
 from repro.gasnet.team import Team
 from repro.memory.allocator import SharedAllocator
@@ -79,6 +80,8 @@ class World:
             ctx.segment = self.segments[ctx.rank]
             ctx.allocator = self.allocators[ctx.rank]
             ctx.conduit = self.conduit
+            if ctx.flags.am_aggregation:
+                ctx.am_agg = AmAggregator(ctx)
             ctx.progress_engine.register_poller(
                 lambda c=ctx: self.conduit.poll(c)
             )

@@ -87,6 +87,16 @@ class CostAction(enum.Enum):
     AM_EXECUTE = "am_execute"
     NETWORK_LATENCY = "network_latency"
     RPC_SERIALIZE_PER_BYTE = "rpc_serialize_per_byte"
+    #: appending one small AM to a per-destination aggregation buffer (the
+    #: cheap operation that replaces a full ``AM_INJECT`` when destination
+    #: batching is on — the amortization the aggregator exists to buy)
+    AM_AGG_APPEND = "am_agg_append"
+    #: building/writing the bundle header when a destination buffer is
+    #: flushed as one bundled AM (paid once per bundle, on the sender)
+    AM_BUNDLE_HEADER = "am_bundle_header"
+    #: receiver-side dispatch of one entry out of a delivered bundle
+    #: (cheaper than a full ``AM_EXECUTE``: no per-message poll/queue work)
+    AM_BUNDLE_ENTRY_DISPATCH = "am_bundle_entry_dispatch"
 
     # -- misc ----------------------------------------------------------------
     LPC_ENQUEUE = "lpc_enqueue"

@@ -126,6 +126,9 @@ INTEL = MachineProfile(
         am_inject=90.0,
         am_poll=30.0,
         am_execute=70.0,
+        am_agg_append=9.0,
+        am_bundle_header=40.0,
+        am_bundle_entry_dispatch=8.0,
         rpc_serialize_per_byte=0.3,
         lpc_enqueue=5.0,
         barrier=600.0,
@@ -171,6 +174,9 @@ IBM = MachineProfile(
         am_inject=130.0,
         am_poll=45.0,
         am_execute=100.0,
+        am_agg_append=13.0,
+        am_bundle_header=55.0,
+        am_bundle_entry_dispatch=11.0,
         rpc_serialize_per_byte=0.45,
         lpc_enqueue=7.0,
         barrier=900.0,
@@ -216,6 +222,9 @@ MARVELL = MachineProfile(
         am_inject=160.0,
         am_poll=55.0,
         am_execute=120.0,
+        am_agg_append=16.0,
+        am_bundle_header=70.0,
+        am_bundle_entry_dispatch=14.0,
         rpc_serialize_per_byte=0.55,
         lpc_enqueue=9.0,
         barrier=1100.0,
@@ -258,6 +267,9 @@ GENERIC = MachineProfile(
         am_inject=100.0,
         am_poll=30.0,
         am_execute=80.0,
+        am_agg_append=10.0,
+        am_bundle_header=45.0,
+        am_bundle_entry_dispatch=9.0,
         rpc_serialize_per_byte=0.5,
         lpc_enqueue=5.0,
         barrier=500.0,

@@ -14,7 +14,10 @@ exercised end-to-end).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import World
 
 
 @dataclass(frozen=True)
@@ -83,3 +86,56 @@ def run_samples(
         raise ValueError("n_samples must be >= 1")
     samples = [float(fn(i)) for i in range(n_samples)]
     return paper_average(samples, top=top, lower_is_better=lower_is_better)
+
+
+# ---------------------------------------------------------------------------
+# runtime-internal counters surfaced for benchmarks/tests
+# ---------------------------------------------------------------------------
+
+
+def pshm_cache_hits(world: "World") -> int:
+    """Lookups served by the conduit's static-topology reachability memo.
+
+    The memo is built once at conduit construction, so every reachability
+    check (the on-node fast-path gate of RMA/AMO operations and the AM
+    routing decision) is a hit; this counter is how benchmarks verify the
+    fast path stayed on the memo rather than recomputing ``World``
+    arithmetic per operation.
+    """
+    return world.conduit.pshm_cache_hits
+
+
+@dataclass(frozen=True)
+class AggregationStats:
+    """World-wide AM-aggregation counters (summed over ranks)."""
+
+    appended: int
+    bundles_flushed: int
+    entries_flushed: int
+    largest_bundle: int
+
+    @property
+    def mean_bundle_size(self) -> float:
+        if not self.bundles_flushed:
+            return 0.0
+        return self.entries_flushed / self.bundles_flushed
+
+
+def aggregation_stats(world: "World") -> AggregationStats:
+    """Aggregate the per-rank :class:`~repro.gasnet.aggregator.AmAggregator`
+    counters of a world (all zeros when aggregation is off)."""
+    appended = flushed = entries = largest = 0
+    for ctx in world.contexts:
+        agg = ctx.am_agg
+        if agg is None:
+            continue
+        appended += agg.appended
+        flushed += agg.bundles_flushed
+        entries += agg.entries_flushed
+        largest = max(largest, agg.largest_bundle)
+    return AggregationStats(
+        appended=appended,
+        bundles_flushed=flushed,
+        entries_flushed=entries,
+        largest_bundle=largest,
+    )

@@ -3,11 +3,17 @@
 import pytest
 
 from repro.errors import UpcxxError
-from repro.gasnet.conduit import CONDUIT_NAMES, make_conduit
+from repro.gasnet.conduit import (
+    _OFFNODE_FACTOR,
+    _PSHM_AM_LATENCY_NS,
+    CONDUIT_NAMES,
+    make_conduit,
+)
 from repro.gasnet.team import Team
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.context import current_ctx
 from repro.runtime.runtime import build_world, spmd_run
+from repro.sim.stats import pshm_cache_hits
 
 
 def two_rank_world(conduit="smp", n_nodes=1):
@@ -50,6 +56,76 @@ class TestConduitConstruction:
     def test_onnode_latency_small(self):
         w = build_world(RuntimeConfig(conduit="udp"), ranks=4, n_nodes=2)
         assert w.conduit.am_latency_ns(0, 1) < w.conduit.am_latency_ns(0, 2)
+
+
+class TestLatencyModel:
+    """Off-node factors, PSHM conduit-independence, and the validated
+    error paths of the latency model."""
+
+    @pytest.mark.parametrize(
+        "name,factor", (("udp", 20.0), ("mpi", 2.0), ("ibv", 1.0))
+    )
+    def test_offnode_factor_applied(self, name, factor):
+        w = build_world(RuntimeConfig(conduit=name), ranks=4, n_nodes=2)
+        base = w.profile.network_latency_ns
+        assert w.conduit.am_latency_ns(0, 2) == pytest.approx(base * factor)
+
+    def test_offnode_bandwidth_term(self):
+        w = build_world(RuntimeConfig(conduit="ibv"), ranks=4, n_nodes=2)
+        zero = w.conduit.am_latency_ns(0, 2, 0)
+        big = w.conduit.am_latency_ns(0, 2, 4096)
+        expected = 4096 / w.profile.network_bandwidth_bpns
+        assert big - zero == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name", ("udp", "mpi", "ibv"))
+    def test_pshm_latency_independent_of_conduit(self, name):
+        """On-node AMs ride shared-memory queues: same latency whatever
+        the network conduit is, and no payload bandwidth term."""
+        w = build_world(RuntimeConfig(conduit=name), ranks=4, n_nodes=2)
+        assert w.conduit.am_latency_ns(0, 1) == _PSHM_AM_LATENCY_NS
+        assert w.conduit.am_latency_ns(0, 1, 8192) == _PSHM_AM_LATENCY_NS
+
+    def test_smp_offnode_latency_rejected(self):
+        """smp has no off-node path (factor None): the error is a typed
+        UpcxxError, not an arithmetic failure.  smp worlds are validated
+        single-node at construction, so force an off-node pair via the
+        topology memo."""
+        w = two_rank_world(conduit="smp")
+        c = w.conduit
+        assert _OFFNODE_FACTOR["smp"] is None
+        c._node_of = (0, 1)  # pretend the ranks landed on distinct nodes
+        with pytest.raises(UpcxxError, match="off-node"):
+            c.am_latency_ns(0, 1)
+
+    def test_unknown_factor_name_raises_typed_error(self):
+        """A conduit name missing from the latency table surfaces as
+        UpcxxError listing the modeled names — never a bare KeyError."""
+        w = build_world(RuntimeConfig(conduit="ibv"), ranks=4, n_nodes=2)
+        c = w.conduit
+        c.name = "rocket"  # simulate a future conduit without a model
+        with pytest.raises(UpcxxError, match="rocket"):
+            c.am_latency_ns(0, 2)
+
+    def test_every_conduit_name_has_a_factor(self):
+        """Construction-time validation can only hold if the latency
+        table covers every constructible name."""
+        assert set(CONDUIT_NAMES) <= set(_OFFNODE_FACTOR)
+
+    def test_out_of_range_reachability_rejected(self):
+        w = two_rank_world(conduit="udp")
+        with pytest.raises(UpcxxError):
+            w.conduit.pshm_reachable(0, 9)
+
+    def test_pshm_cache_hits_counter(self):
+        """Reachability is served from the static-topology memo; every
+        lookup (reachability or latency) counts as a hit."""
+        w = build_world(RuntimeConfig(conduit="udp"), ranks=4, n_nodes=2)
+        start = pshm_cache_hits(w)
+        w.conduit.pshm_reachable(0, 1)
+        w.conduit.pshm_reachable(0, 2)
+        w.conduit.am_latency_ns(0, 3)
+        assert pshm_cache_hits(w) == start + 3
+        assert w.conduit.pshm_cache_hits == pshm_cache_hits(w)
 
 
 class TestAmDelivery:

@@ -8,12 +8,15 @@ blowup exists at every count).
 
 from benchmarks.conftest import bench_scale, write_figure
 from repro.apps.gups import GupsConfig, run_gups
-from repro.bench.report import format_table
-from repro.runtime.config import Version
+from repro.bench.report import format_aggregation_report, format_table
+from repro.runtime.config import Version, flags_for
 
 VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
 
 RANK_SWEEP = (1, 2, 4, 8, 16)
+
+#: node counts of the off-node sweep (16 ranks spread over each)
+NODE_SWEEP = (2, 4, 8)
 
 
 def test_gups_scaling(benchmark, figure_dir):
@@ -66,6 +69,119 @@ def test_gups_scaling(benchmark, figure_dir):
             ranks=8,
             version=VE,
             machine="intel",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_gups_adaptive_offnode_scaling(benchmark, figure_dir):
+    """Off-node sweep: where does destination batching overtake eager
+    notification?  16 ranks over 2/4/8 nodes (ibv); per node count the
+    grid is eager-vs-defer (amo_promise, the paper's effect) against
+    aggregation off / static thresholds / adaptive thresholds on the
+    ``agg`` variant.  Eager's gain is per-operation CPU overhead and
+    stays flat as ranks spread out, while batching amortizes the
+    injection costs that *grow* with the off-node traffic share — so in
+    every off-node configuration the batching gain must exceed the eager
+    gain, and the adaptive controller must preserve the static injection
+    cut (dense traffic drives it to the ceiling thresholds).
+    """
+    s = bench_scale()
+    ranks = 16
+    rows = []
+    adaptive_cells = {}
+    for n_nodes in NODE_SWEEP:
+        # eager-vs-defer gain in this regime (aggregation off)
+        pcfg = GupsConfig(
+            variant="amo_promise", table_log2=12,
+            updates_per_rank=128 * s, batch=32,
+        )
+        psolve = {
+            v: run_gups(
+                pcfg, ranks=ranks, n_nodes=n_nodes, version=v,
+                machine="intel", conduit="ibv",
+            ).solve_ns
+            for v in (VD, VE)
+        }
+        eager_gain = psolve[VD] / psolve[VE]
+
+        # batching gain on the agg variant (eager build throughout)
+        acfg = GupsConfig(
+            variant="agg", table_log2=12,
+            updates_per_rank=128 * s, batch=32,
+        )
+        cells = {}
+        for mode, agg_on, adaptive in (
+            ("off", False, False),
+            ("static", True, False),
+            ("adaptive", True, True),
+        ):
+            fl = flags_for(VE).replace(
+                am_aggregation=agg_on,
+                agg_max_entries=32,
+                agg_adaptive=adaptive,
+            )
+            r = run_gups(
+                acfg, ranks=ranks, n_nodes=n_nodes, version=VE,
+                machine="intel", conduit="ibv", flags=fl,
+            )
+            assert r.matches_oracle, f"n_nodes={n_nodes} {mode}"
+            cells[mode] = r
+        adaptive_cells[n_nodes] = cells["adaptive"]
+
+        static_gain = cells["off"].solve_ns / cells["static"].solve_ns
+        adaptive_gain = cells["off"].solve_ns / cells["adaptive"].solve_ns
+        rows.append([
+            str(n_nodes),
+            f"{eager_gain:.3f}x",
+            f"{static_gain:.3f}x",
+            f"{adaptive_gain:.3f}x",
+            str(cells["off"].am_injects),
+            str(cells["static"].am_injects),
+            str(cells["adaptive"].am_injects),
+        ])
+
+        # batching overtakes eager everywhere off-node, with the static
+        # injection reduction intact under the adaptive controller
+        assert static_gain > eager_gain, f"n_nodes={n_nodes}"
+        assert adaptive_gain > eager_gain, f"n_nodes={n_nodes}"
+        # whole-world injection cut: on-node AMs always inject directly,
+        # so at 2 nodes (half the peers on-node) they dilute the ratio
+        # below the >= 2x that pure off-node traffic achieves
+        off_inj = cells["off"].am_injects
+        inj_cut = off_inj / cells["static"].am_injects
+        assert inj_cut >= (2.0 if n_nodes >= 4 else 1.5), f"n_nodes={n_nodes}"
+        assert cells["adaptive"].am_injects <= cells["static"].am_injects
+        assert cells["adaptive"].solve_ns < cells["off"].solve_ns
+
+    sections = [format_table(
+        "Extension: off-node GUPS, eager gain vs batching gain "
+        "(Intel, ibv, 16 ranks)",
+        ["nodes", "eager gain", "agg gain", "adaptive gain",
+         "injects off", "injects static", "injects adaptive"],
+        rows,
+    )]
+    widest = adaptive_cells[NODE_SWEEP[-1]]
+    sections.append(format_aggregation_report(
+        f"Aggregation activity: adaptive cell, {NODE_SWEEP[-1]} nodes",
+        widest.agg_stats,
+    ))
+    write_figure(figure_dir, "ext_gups_adaptive.txt", "\n\n".join(sections))
+
+    benchmark.pedantic(
+        lambda: run_gups(
+            GupsConfig(
+                variant="agg", table_log2=10, updates_per_rank=32, batch=8
+            ),
+            ranks=4,
+            n_nodes=2,
+            version=VE,
+            machine="intel",
+            conduit="ibv",
+            flags=flags_for(VE).replace(
+                am_aggregation=True, agg_adaptive=True
+            ),
         ),
         rounds=3,
         iterations=1,

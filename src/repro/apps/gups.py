@@ -72,6 +72,7 @@ from repro.memory.global_ptr import GlobalPtr
 from repro.runtime.config import Version
 from repro.runtime.runtime import SpmdResult, spmd_run
 from repro.sim.costmodel import CostAction
+from repro.sim.stats import AggregationStats, aggregation_stats
 
 #: the paper's six variants (Figures 5-7 grid)
 PAPER_GUPS_VARIANTS = (
@@ -159,6 +160,16 @@ class GupsResult:
     am_injects: int = 0
     am_bundles: int = 0
     am_agg_entries: int = 0
+    #: mean simulated parking latency of an aggregated entry (append to
+    #: flush; what the adaptive controller bounds for sparse traffic)
+    agg_mean_parked_ns: float = 0.0
+    #: buffers force-flushed by the adaptive age bound
+    agg_age_flushes: int = 0
+    #: modeled framing bytes saved by bundle delta-compression
+    agg_bytes_saved: int = 0
+    #: the full world-wide aggregation rollup (histogram, flush-trigger
+    #: tally, adaptive counters) for report rendering
+    agg_stats: "AggregationStats | None" = None
 
     @property
     def matches_oracle(self) -> bool:
@@ -427,6 +438,7 @@ def run_gups(
         flags=flags,
         noise=noise,
     )
+    agg = aggregation_stats(res.world)
     solve_ns = max(v[0] for v in res.values)
     checksum = 0
     for _, x, _tbl in res.values:
@@ -447,4 +459,8 @@ def run_gups(
         am_injects=res.world.total_count(CostAction.AM_INJECT),
         am_bundles=res.world.total_count(CostAction.AM_BUNDLE_HEADER),
         am_agg_entries=res.world.total_count(CostAction.AM_AGG_APPEND),
+        agg_mean_parked_ns=agg.mean_parked_ns,
+        agg_age_flushes=agg.age_flushes,
+        agg_bytes_saved=agg.compression_saved_bytes,
+        agg_stats=agg,
     )

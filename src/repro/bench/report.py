@@ -250,3 +250,35 @@ def format_micro_bars(title: str, grid: dict, op: str) -> str:
         r = grid.get((op, v))
         series.append((v.value, None if r is None else r.ns_per_op))
     return format_bars(f"{title}: {op}", series, unit=" ns")
+
+
+# ---------------------------------------------------------------------------
+# AM-aggregation activity report
+# ---------------------------------------------------------------------------
+
+
+def format_aggregation_report(title: str, stats) -> str:
+    """Render a world-wide :class:`~repro.sim.stats.AggregationStats`
+    snapshot: bundle counts, the entries-per-bundle histogram, flush
+    triggers, parking latency, and the adaptive/compression tallies."""
+    rows = [
+        ["entries appended", str(stats.appended)],
+        ["bundles flushed", str(stats.bundles_flushed)],
+        ["entries flushed", str(stats.entries_flushed)],
+        ["mean bundle size", f"{stats.mean_bundle_size:.2f}"],
+        ["largest bundle", str(stats.largest_bundle)],
+        ["mean parked (us)", f"{stats.mean_parked_ns / 1e3:.2f}"],
+        ["age-bound flushes", str(stats.age_flushes)],
+        ["adaptive updates", str(stats.adaptive_updates)],
+        ["threshold decisions", str(stats.threshold_decisions)],
+        ["framing bytes saved", str(stats.compression_saved_bytes)],
+    ]
+    for size in sorted(stats.bundle_size_hist):
+        rows.append(
+            [f"bundles of {size}", str(stats.bundle_size_hist[size])]
+        )
+    for reason in sorted(stats.flush_reasons):
+        rows.append(
+            [f"flushes: {reason}", str(stats.flush_reasons[reason])]
+        )
+    return format_table(title, ["metric", "value"], rows)

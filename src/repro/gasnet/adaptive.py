@@ -1,0 +1,171 @@
+"""Online flush-threshold control for the AM aggregation layer.
+
+PR 1's aggregator flushes on *static* thresholds (``agg_max_entries`` /
+``agg_max_bytes``).  Static thresholds are wrong in both directions:
+
+* **sparse senders** park an entry until 31 siblings show up (or until the
+  next progress call) — the stranded entry eats unbounded latency;
+* **dense senders** hit the entry threshold long before batching stops
+  paying — a deeper bundle would amortize injection further at no latency
+  cost, because the next entry is already on its way.
+
+LCI's dynamic-batching result (PAPERS.md) is that the right batch depth is
+a function of the *observed* inter-arrival gap: batch while messages keep
+arriving, ship when the stream goes quiet.  This module implements that
+control law for the simulated clock.
+
+Estimators (per destination, updated on every append when
+``flags.agg_adaptive`` is on)::
+
+    g_hat <- g            on the first observed gap
+    g_hat <- a*g + (1-a)*g_hat      a = flags.agg_ewma_alpha
+    s_hat <- s / a*s + (1-a)*s_hat  (same form, payload bytes)
+
+where ``g`` is the simulated-clock gap since the previous append to the
+same destination and ``s`` the entry's payload bytes.
+
+Control law — pick the deepest batch whose *expected fill time* stays
+inside the age bound ``A = flags.agg_max_age_ticks``.  A batch of ``E``
+entries arriving every ``g_hat`` ticks strands its oldest entry for about
+``(E - 1) * g_hat`` ticks, so::
+
+    E* = clamp(agg_min_entries, floor(1 + A / g_hat), agg_max_entries)
+    B* = clamp(agg_min_bytes,   floor(2 * E* * s_hat), agg_max_bytes)
+
+Dense traffic (``g_hat << A``) drives ``E*`` to the ceiling — the static
+threshold is recovered as the limit — while sparse traffic (``g_hat``
+comparable to ``A``) drives ``E*`` to the floor so an entry never waits
+long for company that is not coming.  ``B*`` carries a 2x slack over the
+expected batch payload ``E* * s_hat``: the entry threshold stays the
+binding constraint for homogeneous streams (preserving the static flush
+pattern in the dense limit) and the byte bound remains a safety net
+against oversized outliers.
+
+The controller is pure bookkeeping plus one cheap modeled charge
+(``AM_AGG_ADAPT`` per observation, costed in every machine profile); its
+decisions are exported through :meth:`AdaptiveController.trajectory` and
+surfaced world-wide via :func:`repro.sim.stats.aggregation_stats`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.config import FeatureFlags
+
+#: retained threshold decisions per rank (the trajectory is diagnostic —
+#: a converged controller stops producing entries, so the cap only guards
+#: against pathological non-converging workloads)
+TRAJECTORY_CAP = 1024
+
+
+@dataclass(frozen=True)
+class ThresholdDecision:
+    """One recorded controller output (emitted only when it changes)."""
+
+    t_ns: float
+    dst_rank: int
+    max_entries: int
+    max_bytes: int
+
+
+class _DestEstimator:
+    """EWMA state for one destination (survives buffer flushes)."""
+
+    __slots__ = ("last_append_ns", "gap_ewma_ns", "size_ewma_bytes")
+
+    def __init__(self) -> None:
+        self.last_append_ns: float | None = None
+        self.gap_ewma_ns: float | None = None
+        self.size_ewma_bytes: float | None = None
+
+    def observe(self, now_ns: float, nbytes: int, alpha: float) -> None:
+        if self.last_append_ns is not None:
+            gap = now_ns - self.last_append_ns
+            if self.gap_ewma_ns is None:
+                self.gap_ewma_ns = gap
+            else:
+                self.gap_ewma_ns = alpha * gap + (1 - alpha) * self.gap_ewma_ns
+        self.last_append_ns = now_ns
+        if self.size_ewma_bytes is None:
+            self.size_ewma_bytes = float(nbytes)
+        else:
+            self.size_ewma_bytes = (
+                alpha * nbytes + (1 - alpha) * self.size_ewma_bytes
+            )
+
+
+class AdaptiveController:
+    """Per-destination online sizing of the aggregator flush thresholds."""
+
+    __slots__ = (
+        "alpha", "max_age_ns",
+        "floor_entries", "ceil_entries", "floor_bytes", "ceil_bytes",
+        "_est", "_current", "updates", "trajectory",
+    )
+
+    def __init__(self, flags: "FeatureFlags"):
+        self.alpha = flags.agg_ewma_alpha
+        self.max_age_ns = flags.agg_max_age_ticks
+        self.floor_entries = flags.agg_min_entries
+        self.ceil_entries = flags.agg_max_entries
+        self.floor_bytes = flags.agg_min_bytes
+        self.ceil_bytes = flags.agg_max_bytes
+        self._est: dict[int, _DestEstimator] = {}
+        #: current (entries, bytes) thresholds per destination
+        self._current: dict[int, tuple[int, int]] = {}
+        self.updates = 0
+        self.trajectory: deque[ThresholdDecision] = deque(
+            maxlen=TRAJECTORY_CAP
+        )
+
+    def observe(
+        self, now_ns: float, dst_rank: int, nbytes: int
+    ) -> tuple[int, int]:
+        """Feed one append observation; return the (entries, bytes)
+        thresholds to apply to ``dst_rank``'s buffer."""
+        est = self._est.get(dst_rank)
+        if est is None:
+            est = self._est[dst_rank] = _DestEstimator()
+        est.observe(now_ns, nbytes, self.alpha)
+        self.updates += 1
+
+        gap = est.gap_ewma_ns
+        if gap is None or gap <= 0.0:
+            # no rate estimate yet: start at the ceiling (the static
+            # behaviour) until the stream reveals its density
+            entries = self.ceil_entries
+        else:
+            entries = int(1 + self.max_age_ns / gap)
+            entries = max(self.floor_entries, min(entries, self.ceil_entries))
+        size = est.size_ewma_bytes
+        if not size or size <= 0.0:
+            nbytes_thr = self.ceil_bytes
+        else:
+            nbytes_thr = int(2 * entries * size)
+            nbytes_thr = max(
+                self.floor_bytes, min(nbytes_thr, self.ceil_bytes)
+            )
+
+        decision = (entries, nbytes_thr)
+        if self._current.get(dst_rank) != decision:
+            self._current[dst_rank] = decision
+            self.trajectory.append(
+                ThresholdDecision(now_ns, dst_rank, entries, nbytes_thr)
+            )
+        return decision
+
+    def thresholds(self, dst_rank: int) -> tuple[int, int]:
+        """Current thresholds for ``dst_rank`` (ceilings before data)."""
+        return self._current.get(
+            dst_rank, (self.ceil_entries, self.ceil_bytes)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AdaptiveController updates={self.updates} "
+            f"dests={len(self._current)}>"
+        )

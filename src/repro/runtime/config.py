@@ -24,6 +24,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.errors import UpcxxError
+
 
 class Version(enum.Enum):
     """The three UPC++ builds compared in the paper."""
@@ -74,7 +76,36 @@ class FeatureFlags:
     agg_max_entries / agg_max_bytes:
         Aggregator auto-flush thresholds: a destination buffer flushes
         when it holds this many entries or payload bytes (only consulted
-        when ``am_aggregation`` is on).
+        when ``am_aggregation`` is on).  With ``agg_adaptive`` set these
+        become the *ceilings* of the controller's operating range.
+    agg_adaptive:
+        Online flush-threshold control plus the age-bound flush (see
+        :mod:`repro.gasnet.adaptive`): per-destination EWMA estimators of
+        inter-arrival gap and payload size size the effective thresholds
+        between the floor (``agg_min_*``) and ceiling (``agg_max_*``)
+        bounds, and a buffer whose oldest entry is older than
+        ``agg_max_age_ticks`` is flushed at the next conduit activity or
+        progress poll.  Off by default: the static PR-1 behaviour is
+        bit-identical with this flag off.
+    agg_min_entries / agg_min_bytes:
+        Floors of the adaptive controller's threshold range (only
+        consulted when ``agg_adaptive`` is on).
+    agg_max_age_ticks:
+        Age bound in simulated-clock ticks (ns): the maximum time the
+        oldest parked entry may sit in a buffer before the next conduit
+        activity or progress poll force-flushes it.  Also the controller's
+        latency target (batch depth is chosen so the expected fill time
+        stays inside this bound).
+    agg_ewma_alpha:
+        Blending factor of the controller's EWMA estimators (0 < a <= 1;
+        larger adapts faster, smaller smooths more).
+    agg_compression:
+        Delta-compression of bundle framing: runs of consecutive entries
+        sharing one conduit-level handler (the entry *label*) are encoded
+        as one full entry header plus small continuation headers, so
+        homogeneous streams (GUPS updates) pay the handler id once per
+        run.  Pure wire-footprint model change — handlers still run
+        identically.  Off by default.
     """
 
     eager_notification: bool
@@ -87,6 +118,62 @@ class FeatureFlags:
     am_aggregation: bool = False
     agg_max_entries: int = 32
     agg_max_bytes: int = 4096
+    agg_adaptive: bool = False
+    agg_min_entries: int = 2
+    agg_min_bytes: int = 256
+    agg_max_age_ticks: float = 131072.0
+    agg_ewma_alpha: float = 0.25
+    agg_compression: bool = False
+
+    def __post_init__(self):
+        """Reject unusable aggregation knobs at construction.
+
+        A zero/negative threshold would make a destination buffer never
+        flush on its own — with the old aggregator-side check this was
+        only caught when a world with ``am_aggregation`` was built, and
+        not at all for flag values constructed but consumed later.  The
+        knobs are validated here, at the single choke point every
+        configuration passes through.
+        """
+        if self.agg_max_entries < 1:
+            raise UpcxxError(
+                f"agg_max_entries must be >= 1, got {self.agg_max_entries}"
+            )
+        if self.agg_max_bytes < 1:
+            raise UpcxxError(
+                f"agg_max_bytes must be >= 1, got {self.agg_max_bytes}"
+            )
+        if self.agg_min_entries < 1:
+            raise UpcxxError(
+                f"agg_min_entries must be >= 1, got {self.agg_min_entries}"
+            )
+        if self.agg_min_bytes < 1:
+            raise UpcxxError(
+                f"agg_min_bytes must be >= 1, got {self.agg_min_bytes}"
+            )
+        if self.agg_adaptive:
+            # floor/ceiling consistency only binds once the controller
+            # actually operates on the range (a static configuration may
+            # legitimately set a ceiling below the adaptive floor defaults);
+            # re-validated automatically if replace() later flips the flag
+            if self.agg_min_entries > self.agg_max_entries:
+                raise UpcxxError(
+                    "agg_min_entries must not exceed agg_max_entries "
+                    f"({self.agg_min_entries} > {self.agg_max_entries})"
+                )
+            if self.agg_min_bytes > self.agg_max_bytes:
+                raise UpcxxError(
+                    "agg_min_bytes must not exceed agg_max_bytes "
+                    f"({self.agg_min_bytes} > {self.agg_max_bytes})"
+                )
+        if self.agg_max_age_ticks <= 0:
+            raise UpcxxError(
+                f"agg_max_age_ticks must be > 0, got {self.agg_max_age_ticks}"
+            )
+        if not (0.0 < self.agg_ewma_alpha <= 1.0):
+            raise UpcxxError(
+                f"agg_ewma_alpha must be in (0, 1], got {self.agg_ewma_alpha}"
+            )
 
     def replace(self, **kw) -> "FeatureFlags":
         """A copy with the given flags overridden (ablation support)."""

@@ -150,12 +150,14 @@ class RankContext:
 
     # -- AM aggregation -----------------------------------------------------
 
-    def flush_aggregation(self) -> int:
+    def flush_aggregation(self, reason: str = "explicit") -> int:
         """Flush all buffered (destination-batched) AMs; returns entries
-        shipped (0 when aggregation is off or nothing is buffered)."""
+        shipped (0 when aggregation is off or nothing is buffered).
+        ``reason`` tags the flush in the aggregator's stats (the progress
+        engine passes ``progress_entry``/``progress_exit``)."""
         agg = self.am_agg
         if agg is not None and agg.has_pending():
-            return agg.flush_all()
+            return agg.flush_all(reason=reason)
         return 0
 
 

@@ -96,7 +96,7 @@ class ProgressEngine:
             # publish destination-batched AMs before doing anything else:
             # progress entry is a flush point (covers barrier()/wait() too,
             # which drive their waits through this method)
-            if ctx.flush_aggregation():
+            if ctx.flush_aggregation(reason="progress_entry"):
                 did_work = True
             for poll in self._pollers:
                 if poll():
@@ -119,7 +119,7 @@ class ProgressEngine:
             # handlers run during the drain may have buffered new
             # aggregatable AMs; flush before returning so nothing is
             # stranded while this rank blocks (e.g. inside a barrier)
-            if ctx.flush_aggregation():
+            if ctx.flush_aggregation(reason="progress_exit"):
                 did_work = True
         finally:
             self._in_progress = False

@@ -13,7 +13,7 @@ exercised end-to-end).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,12 +107,31 @@ def pshm_cache_hits(world: "World") -> int:
 
 @dataclass(frozen=True)
 class AggregationStats:
-    """World-wide AM-aggregation counters (summed over ranks)."""
+    """World-wide AM-aggregation counters (summed over ranks).
+
+    The adaptive/compression fields stay zero (and ``bundle_size_hist`` /
+    ``flush_reasons`` empty) unless the corresponding feature flags were
+    on — aggregating them is free either way.
+    """
 
     appended: int
     bundles_flushed: int
     entries_flushed: int
     largest_bundle: int
+    #: summed simulated parking time (append -> flush) over all entries
+    parked_ns_total: float = 0.0
+    #: buffers force-flushed by the adaptive age bound
+    age_flushes: int = 0
+    #: adaptive-controller observations across all ranks
+    adaptive_updates: int = 0
+    #: recorded controller threshold decisions across all ranks
+    threshold_decisions: int = 0
+    #: framing bytes saved by bundle delta-compression
+    compression_saved_bytes: int = 0
+    #: merged bundle-size -> count histogram
+    bundle_size_hist: dict = field(default_factory=dict)
+    #: merged flush-trigger -> count tally
+    flush_reasons: dict = field(default_factory=dict)
 
     @property
     def mean_bundle_size(self) -> float:
@@ -120,22 +139,62 @@ class AggregationStats:
             return 0.0
         return self.entries_flushed / self.bundles_flushed
 
+    @property
+    def mean_parked_ns(self) -> float:
+        """Mean simulated parking latency of a flushed entry (the
+        quantity the adaptive controller drives down for sparse
+        traffic)."""
+        if not self.entries_flushed:
+            return 0.0
+        return self.parked_ns_total / self.entries_flushed
+
 
 def aggregation_stats(world: "World") -> AggregationStats:
     """Aggregate the per-rank :class:`~repro.gasnet.aggregator.AmAggregator`
     counters of a world (all zeros when aggregation is off)."""
     appended = flushed = entries = largest = 0
+    parked = 0.0
+    age = updates = decisions = saved = 0
+    hist: dict[int, int] = {}
+    reasons: dict[str, int] = {}
     for ctx in world.contexts:
         agg = ctx.am_agg
         if agg is None:
             continue
-        appended += agg.appended
-        flushed += agg.bundles_flushed
-        entries += agg.entries_flushed
-        largest = max(largest, agg.largest_bundle)
+        s = agg.stats()
+        appended += s.appended
+        flushed += s.bundles_flushed
+        entries += s.entries_flushed
+        largest = max(largest, s.largest_bundle)
+        parked += s.parked_ns_total
+        age += s.age_flushes
+        updates += s.adaptive_updates
+        decisions += len(s.threshold_trajectory)
+        saved += s.compression_saved_bytes
+        for size, count in s.bundle_size_hist.items():
+            hist[size] = hist.get(size, 0) + count
+        for reason, count in s.flush_reasons.items():
+            reasons[reason] = reasons.get(reason, 0) + count
     return AggregationStats(
         appended=appended,
         bundles_flushed=flushed,
         entries_flushed=entries,
         largest_bundle=largest,
+        parked_ns_total=parked,
+        age_flushes=age,
+        adaptive_updates=updates,
+        threshold_decisions=decisions,
+        compression_saved_bytes=saved,
+        bundle_size_hist=hist,
+        flush_reasons=reasons,
     )
+
+
+def aggregation_snapshots(world: "World"):
+    """Per-rank :class:`~repro.gasnet.aggregator.AggregatorSnapshot` list
+    (empty when aggregation is off) — the full per-rank view behind
+    :func:`aggregation_stats`, including each rank's adaptive threshold
+    trajectory."""
+    return [
+        ctx.am_agg.stats() for ctx in world.contexts if ctx.am_agg is not None
+    ]

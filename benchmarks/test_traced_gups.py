@@ -1,0 +1,98 @@
+"""Traced GUPS: a fig5-style run with operation-lifecycle spans on.
+
+This is the observability acceptance run (and the CI tier-2 trace job):
+a 4-rank Intel GUPS config executed under both notification modes with
+``FeatureFlags.obs_spans`` enabled, producing
+
+* ``benchmarks/results/gups_trace_{eager,defer}.json`` — Chrome/Perfetto
+  trace-event files (load them at https://ui.perfetto.dev), validated
+  here against the trace-event schema (``ph``/``ts``/``pid``/``tid``);
+* ``benchmarks/results/gups_trace_report.txt`` — the notification-gap
+  histogram report.
+
+Claims pinned:
+
+* under eager notification every pshm-local value-less update completes
+  with a **zero** notification gap;
+* under deferred notification every gap is positive and bounded below by
+  the progress-poll cost (a notification cannot be cheaper than entering
+  the progress engine that delivers it);
+* enabling spans changes no measured figure: solve times are
+  bit-identical to an untraced run.
+"""
+
+import json
+
+from benchmarks.conftest import write_figure
+from repro.apps.gups import GupsConfig, run_gups
+from repro.bench.harness import traced_gups
+from repro.bench.report import format_notification_report
+from repro.obs import validate_trace_events
+from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
+
+VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
+
+MACHINE = "intel"
+RANKS = 4
+CFG = GupsConfig(variant="rma_promise", table_log2=10,
+                 updates_per_rank=48, batch=16)
+
+
+def _traced(version, figure_dir):
+    tag = "eager" if version is VE else "defer"
+    path = figure_dir / f"gups_trace_{tag}.json"
+    res = traced_gups(
+        CFG, ranks=RANKS, version=version, machine=MACHINE, trace_path=path
+    )
+    return res, path
+
+
+def test_traced_gups_eager_zero_gap(figure_dir):
+    res, path = _traced(VE, figure_dir)
+    gap = res.obs_stats.gap("eager", "pshm")
+    assert gap is not None and gap.count > 0
+    # every pshm-local eager notification: gap exactly zero
+    assert gap.zeros == gap.count
+    assert gap.mean_ns == 0.0
+    doc = json.loads(path.read_text())
+    assert validate_trace_events(doc) == []
+
+
+def test_traced_gups_defer_gap_bounded_below(figure_dir):
+    res, path = _traced(VD, figure_dir)
+    gap = res.obs_stats.gap("defer", "pshm")
+    assert gap is not None and gap.count > 0
+    assert gap.zeros == 0
+    from repro.sim.machines import profile_by_name
+
+    floor = profile_by_name(MACHINE).cost_ns(CostAction.PROGRESS_POLL)
+    assert gap.hist.min is not None and gap.hist.min >= floor
+    doc = json.loads(path.read_text())
+    assert validate_trace_events(doc) == []
+    # the trace must carry all four rank timelines
+    tids = {
+        e["tid"] for e in doc["traceEvents"] if e["ph"] != "M"
+    }
+    assert tids == set(range(RANKS))
+
+
+def test_tracing_does_not_perturb_figures(figure_dir):
+    base = run_gups(CFG, ranks=RANKS, version=VE, machine=MACHINE)
+    traced, _ = _traced(VE, figure_dir)
+    assert traced.solve_ns == base.solve_ns
+    assert traced.checksum == base.checksum
+
+
+def test_write_gap_report(figure_dir):
+    res, _ = _traced(VD, figure_dir)
+    text = format_notification_report(
+        f"GUPS {CFG.variant} on {MACHINE}, {RANKS} ranks, defer vs eager "
+        "[notification gaps]",
+        res.obs_stats,
+    )
+    res_e, _ = _traced(VE, figure_dir)
+    text += "\n\n" + format_notification_report(
+        "same config, eager", res_e.obs_stats
+    )
+    write_figure(figure_dir, "gups_trace_report.txt", text)

@@ -72,7 +72,12 @@ from repro.memory.global_ptr import GlobalPtr
 from repro.runtime.config import Version
 from repro.runtime.runtime import SpmdResult, spmd_run
 from repro.sim.costmodel import CostAction
-from repro.sim.stats import AggregationStats, aggregation_stats
+from repro.sim.stats import (
+    AggregationStats,
+    aggregation_stats,
+    observability_snapshots,
+    observability_stats,
+)
 
 #: the paper's six variants (Figures 5-7 grid)
 PAPER_GUPS_VARIANTS = (
@@ -170,6 +175,14 @@ class GupsResult:
     #: the full world-wide aggregation rollup (histogram, flush-trigger
     #: tally, adaptive counters) for report rendering
     agg_stats: "AggregationStats | None" = None
+
+    #: per-rank observability snapshots (``FeatureFlags.obs_spans`` runs
+    #: only; empty tuple otherwise) — feed these to
+    #: :func:`repro.obs.write_chrome_trace` for a Perfetto timeline
+    obs_snapshots: tuple = ()
+    #: world-wide span/metrics rollup (:class:`repro.obs.ObsStats`),
+    #: ``None`` unless the run had ``obs_spans`` on
+    obs_stats: "object | None" = None
 
     @property
     def matches_oracle(self) -> bool:
@@ -439,6 +452,8 @@ def run_gups(
         noise=noise,
     )
     agg = aggregation_stats(res.world)
+    obs_snaps = tuple(observability_snapshots(res.world))
+    obs = observability_stats(res.world) if obs_snaps else None
     solve_ns = max(v[0] for v in res.values)
     checksum = 0
     for _, x, _tbl in res.values:
@@ -463,4 +478,6 @@ def run_gups(
         agg_age_flushes=agg.age_flushes,
         agg_bytes_saved=agg.compression_saved_bytes,
         agg_stats=agg,
+        obs_snapshots=obs_snaps,
+        obs_stats=obs,
     )

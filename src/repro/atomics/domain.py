@@ -219,6 +219,7 @@ class AtomicDomain:
         # on-node: CPU atomic on the shared segment, synchronous.
         # Concurrent atomics from co-located peers contend on cache
         # lines and fences; the penalty scales with the peer count.
+        disp.mark_injected(target.rank, target.ts.size, local=True)
         seg = ctx.world.segment_of(target.rank)
         ctx.charge(CostAction.CPU_ATOMIC_RMW)
         peers = ctx.world.ranks_per_node - 1
@@ -280,6 +281,7 @@ class AtomicDomain:
             ctx, target.rank, on_target, nbytes=ts.size, label="amo_req",
             aggregatable=True,
         )
+        disp.mark_injected(target.rank, ts.size, local=False)
         return disp.result()
 
     @staticmethod

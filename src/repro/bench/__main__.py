@@ -9,6 +9,7 @@ Reproduces any of the paper's figures without pytest:
     python -m repro.bench matching --ranks 16 --scale 3
     python -m repro.bench offnode
     python -m repro.bench all
+    python -m repro.bench trace --variant rma_future --out gups.trace.json
 """
 
 from __future__ import annotations
@@ -22,13 +23,16 @@ from repro.bench.harness import (
     matching_grid,
     micro_grid,
     offnode_grid,
+    traced_gups,
 )
 from repro.bench.report import (
     format_gups_figure,
     format_matching_figure,
     format_micro_bars,
     format_micro_figure,
+    format_notification_report,
     format_offnode_figure,
+    format_span_timeline,
 )
 
 _FIG_BY_MACHINE = {"intel": 2, "ibm": 3, "marvell": 4}
@@ -93,6 +97,39 @@ def cmd_offnode(args) -> None:
     )
 
 
+def cmd_trace(args) -> None:
+    from repro.apps.gups import GupsConfig
+    from repro.runtime.config import Version
+
+    version = Version(args.version)
+    cfg = GupsConfig(
+        variant=args.variant,
+        table_log2=args.table_log2,
+        updates_per_rank=args.updates,
+        batch=args.batch,
+    )
+    res = traced_gups(
+        cfg,
+        ranks=args.ranks,
+        version=version,
+        machine=args.machine,
+        trace_path=args.out,
+    )
+    print(
+        format_notification_report(
+            f"GUPS {args.variant} on {args.machine}, {args.ranks} ranks, "
+            f"{version.value} [obs spans]",
+            res.obs_stats,
+        )
+    )
+    if args.timeline:
+        print()
+        print(format_span_timeline(res.obs_snapshots, limit=args.timeline))
+    if args.out:
+        print(f"\nwrote Chrome/Perfetto trace: {args.out}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
 def cmd_all(args) -> None:
     for machine in ("intel", "ibm", "marvell"):
         args.machine = machine
@@ -151,6 +188,38 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--ops", type=int, default=40)
     p.set_defaults(fn=cmd_offnode)
+
+    p = sub.add_parser(
+        "trace",
+        help="one traced GUPS run: span report + Perfetto trace JSON",
+    )
+    common(p)
+    p.add_argument("--ranks", type=int, default=4)
+    from repro.apps.gups import GUPS_VARIANTS
+
+    p.add_argument(
+        "--variant", default="rma_future", choices=GUPS_VARIANTS,
+        help="GUPS variant to trace (rma_future shows the defer queue best)",
+    )
+    from repro.runtime.config import Version
+
+    p.add_argument(
+        "--version", default="2021.3.6-eager",
+        choices=[v.value for v in Version],
+        help="build to trace (e.g. 2021.3.6-defer vs 2021.3.6-eager)",
+    )
+    p.add_argument("--table-log2", type=int, default=10)
+    p.add_argument("--updates", type=int, default=64)
+    p.add_argument("--batch", type=int, default=16)
+    p.add_argument(
+        "--out", default=None,
+        help="write Chrome/Perfetto trace-event JSON here",
+    )
+    p.add_argument(
+        "--timeline", type=int, default=0, metavar="N",
+        help="also print the first N spans as a text timeline",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("all", help="every figure, default parameters")
     common(p)

@@ -29,7 +29,7 @@ from repro.atomics import AtomicDomain
 from repro.core.completions import operation_cx
 from repro.memory.global_ptr import GlobalPtr
 from repro.rma import rget, rget_into, rput
-from repro.runtime.config import Version
+from repro.runtime.config import Version, flags_for
 from repro.runtime.context import current_ctx
 from repro.runtime.runtime import spmd_run
 from repro.sim.stats import run_samples
@@ -188,6 +188,83 @@ def gups_grid(
                 cfg, ranks=ranks, version=v, machine=machine
             )
     return out
+
+
+# ---------------------------------------------------------------------------
+# traced runs (observability spans on)
+# ---------------------------------------------------------------------------
+
+
+def traced_flags(version: Version, **overrides):
+    """The build's feature set with operation-lifecycle spans enabled
+    (``FeatureFlags.obs_spans``); extra overrides pass through."""
+    return flags_for(version).replace(obs_spans=True, **overrides)
+
+
+def traced_gups(
+    cfg: Optional[GupsConfig] = None,
+    *,
+    ranks: int = 4,
+    version: Version = Version.V2021_3_6_EAGER,
+    machine: str = "intel",
+    conduit: Optional[str] = None,
+    n_nodes: int = 1,
+    flags=None,
+    trace_path=None,
+) -> GupsResult:
+    """One GUPS run with observability spans on.
+
+    The returned :class:`~repro.apps.gups.GupsResult` carries per-rank
+    span snapshots (``obs_snapshots``) and the world-wide rollup
+    (``obs_stats``).  When ``trace_path`` is given, a Chrome/Perfetto
+    trace-event JSON is written there — load it in ``ui.perfetto.dev``
+    or ``chrome://tracing``.
+    """
+    if cfg is None:
+        cfg = GupsConfig()
+    base = flags if flags is not None else flags_for(version)
+    res = run_gups(
+        cfg,
+        ranks=ranks,
+        version=version,
+        machine=machine,
+        conduit=conduit,
+        n_nodes=n_nodes,
+        flags=base.replace(obs_spans=True),
+    )
+    if trace_path is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(trace_path, res.obs_snapshots)
+    return res
+
+
+def traced_micro(
+    op: str,
+    version: Version,
+    machine: str,
+    *,
+    n_ops: int = 200,
+    flags=None,
+):
+    """One traced microbenchmark sample.
+
+    Returns ``(ns_per_op, obs_snapshots, obs_stats)`` — the same timing
+    the figure grids measure, plus the span record behind it (which ops
+    had a notification gap, and how wide).
+    """
+    from repro.sim.stats import observability_snapshots, observability_stats
+
+    base = flags if flags is not None else flags_for(version)
+    res = spmd_run(
+        lambda: _micro_body(op, n_ops),
+        ranks=2,
+        version=version,
+        machine=machine,
+        flags=base.replace(obs_spans=True),
+    )
+    snaps = observability_snapshots(res.world)
+    return res.values[0] / n_ops, snaps, observability_stats(res.world)
 
 
 # ---------------------------------------------------------------------------

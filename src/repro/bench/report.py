@@ -257,6 +257,110 @@ def format_micro_bars(title: str, grid: dict, op: str) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _fmt_hist_rows(hist, *, scale: float = 1.0, width: int = 30) -> list[str]:
+    """Histogram buckets as ``label  count  bar`` lines (empty buckets
+    skipped; ``scale`` divides the bucket-edge labels, e.g. 1e3 for us)."""
+    peak = max(hist.counts) if hist.n else 0
+    lines = []
+    for i, count in enumerate(hist.counts):
+        if not count:
+            continue
+        label = hist.bucket_label(i)
+        if scale != 1.0:
+            # bucket_label renders raw edge values; rebuild scaled
+            if i == 0:
+                label = f"<= {hist.edges[0] / scale:g}"
+            elif i == len(hist.edges):
+                label = f"> {hist.edges[-1] / scale:g}"
+            else:
+                label = (
+                    f"{hist.edges[i - 1] / scale:g}.."
+                    f"{hist.edges[i] / scale:g}"
+                )
+        bar = "#" * max(1, int(round(width * count / peak))) if peak else ""
+        lines.append(f"  {label:>14}  {count:7d}  {bar}")
+    return lines
+
+
+def format_notification_report(title: str, stats) -> str:
+    """Render a world-wide :class:`~repro.obs.ObsStats` rollup: the
+    notification-gap distribution per (mode, locality) class — the
+    paper's eager-vs-defer story as measured from spans — plus span
+    accounting and progress-engine metrics."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"spans: {stats.total_spans} recorded across {stats.ranks} ranks"
+        + (f" ({stats.total_dropped} dropped at capacity)"
+           if stats.total_dropped else "")
+    )
+    for op in sorted(stats.spans_by_op):
+        lines.append(f"  {op:>12}  {stats.spans_by_op[op]}")
+    lines.append("")
+    lines.append("notification gap (transfer-complete -> dispatched), ns:")
+    header = (
+        f"  {'mode':>6} {'locality':>8} {'count':>7} {'zero-gap':>8} "
+        f"{'mean ns':>9} {'max ns':>9}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for (mode, locality), gap in stats.gaps.items():
+        lines.append(
+            f"  {mode:>6} {locality:>8} {gap.count:7d} {gap.zeros:8d} "
+            f"{gap.mean_ns:9.1f} {(gap.hist.max or 0.0):9.1f}"
+        )
+    for (mode, locality), gap in stats.gaps.items():
+        lines.append("")
+        lines.append(f"gap histogram [{mode}/{locality}] (ns):")
+        lines.extend(_fmt_hist_rows(gap.hist))
+    depth = stats.metrics.histograms.get("progress.deferred_depth")
+    if depth is not None and depth.n:
+        lines.append("")
+        lines.append(
+            f"deferred-queue depth at progress() entry "
+            f"({depth.n} samples, mean {depth.mean:.2f}):"
+        )
+        lines.extend(_fmt_hist_rows(depth))
+    if stats.metrics.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(stats.metrics.counters):
+            lines.append(f"  {name:>24}  {stats.metrics.counters[name]}")
+    return "\n".join(lines)
+
+
+def format_span_timeline(snapshots, *, limit: int = 40) -> str:
+    """A merged, time-ordered text rendering of per-rank span snapshots —
+    the terminal-friendly sibling of the Perfetto export."""
+    spans = sorted(
+        (s for snap in snapshots for s in snap.spans),
+        key=lambda s: (s.t_init, s.rank, s.sid),
+    )
+    dropped = sum(snap.spans_dropped for snap in snapshots)
+    header = (
+        f"{'t_init/ns':>10} {'rank':>4} {'op':>12} {'mode':>5} "
+        f"{'loc':>7} {'tgt':>4} {'bytes':>6} {'gap/ns':>8} {'wait/ns':>8}"
+    )
+    if dropped:
+        header += f"  [dropped={dropped}]"
+    lines = [header]
+    for s in spans[:limit]:
+        gap = s.notification_gap_ns
+        waited = (
+            s.t_waited - s.t_init if s.t_waited is not None else None
+        )
+        lines.append(
+            f"{s.t_init:10.1f} {s.rank:4d} {s.op:>12} {s.mode:>5} "
+            f"{s.locality:>7} "
+            f"{('-' if s.target is None else str(s.target)):>4} "
+            f"{s.nbytes:6d} "
+            f"{('-' if gap is None else f'{gap:.1f}'):>8} "
+            f"{('-' if waited is None else f'{waited:.1f}'):>8}"
+        )
+    if len(spans) > limit:
+        lines.append(f"... {len(spans) - limit} more spans")
+    return "\n".join(lines)
+
+
 def format_aggregation_report(title: str, stats) -> str:
     """Render a world-wide :class:`~repro.sim.stats.AggregationStats`
     snapshot: bundle counts, the entries-per-bundle histogram, flush

@@ -129,6 +129,12 @@ def broadcast(value: Any, root: int) -> Future:
     seq = eng.seq_for(ctx, "bcast")
     st = eng.state("bcast", seq)
     eng.check_root(st, root, "broadcast")
+    obs = ctx.obs
+    span = (
+        obs.begin_span("broadcast", "none", target=root, locality="coll")
+        if obs is not None
+        else None
+    )
 
     if ctx.rank == root:
         st.value = value
@@ -153,14 +159,25 @@ def broadcast(value: Any, root: int) -> Future:
         _drain_cells(st)
         from repro.core.cell import ready_cell
 
+        if span is not None:
+            span.nbytes = nbytes
+            span.t_injected = ctx.clock.now_ns
+            obs.close_notification(span, ctx.clock.now_ns)
         return Future(ready_cell(ctx, (value,)))
 
     if st.arrived:
         from repro.core.cell import ready_cell
 
+        if span is not None:
+            obs.close_notification(span, ctx.clock.now_ns)
         return Future(ready_cell(ctx, (st.value,)))
     cell = alloc_cell(ctx, nvalues=1, deps=1)
     st.cells[ctx.rank] = cell
+    if span is not None:
+        # fulfilment happens in _bcast_arrive on this very rank's context
+        cell.add_callback(
+            lambda vals, s=span: obs.close_notification(s, ctx.clock.now_ns)
+        )
     return Future(cell)
 
 
@@ -201,28 +218,49 @@ def reduce_one(value: Any, op, root: int) -> Future:
     seq = eng.seq_for(ctx, "reduce")
     st = eng.state("reduce", seq)
     eng.check_root(st, root, "reduce_one")
+    obs = ctx.obs
+    span = (
+        obs.begin_span("reduce_one", "none", target=root, locality="coll")
+        if obs is not None
+        else None
+    )
 
     if ctx.rank == root:
         st.contribs.append(value)
         if len(st.contribs) == ctx.world_size:
-            return _finish_reduce(ctx, st, fn)
+            fut = _finish_reduce(ctx, st, fn)
+            if span is not None:
+                obs.close_notification(span, ctx.clock.now_ns)
+            return fut
         cell = alloc_cell(ctx, nvalues=1, deps=1)
         st.cells[root] = cell
         st.value = fn  # stash the op for the last arrival
+        if span is not None:
+            # fulfilment happens in _reduce_arrive on the root's context
+            cell.add_callback(
+                lambda vals, s=span: obs.close_notification(
+                    s, ctx.clock.now_ns
+                )
+            )
         return Future(cell)
 
     from repro.rpc.serialization import payload_nbytes
 
+    nbytes = payload_nbytes(value)
     ctx.conduit.send_am(
         ctx,
         root,
         _reduce_arrive,
         (seq, value),
-        nbytes=payload_nbytes(value),
+        nbytes=nbytes,
         label="reduce",
     )
     from repro.core.cell import ready_unit_cell
 
+    if span is not None:
+        span.nbytes = nbytes
+        span.t_injected = ctx.clock.now_ns
+        obs.close_notification(span, ctx.clock.now_ns)
     return Future(ready_unit_cell(ctx))
 
 

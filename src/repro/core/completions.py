@@ -43,6 +43,7 @@ from repro.errors import CompletionError
 from repro.sim.costmodel import CostAction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import OpSpan
     from repro.runtime.context import RankContext
 
 _FUTURE = "future"
@@ -163,8 +164,15 @@ class PendingEvent:
     ctx: "RankContext"
     requests: list[CompletionRequest]
     cells: list = field(default_factory=list)  # parallel to future requests
+    #: operation span whose notification this event closes (obs only)
+    span: Optional["OpSpan"] = None
 
     def complete(self, values: tuple = ()) -> None:
+        span = self.span
+        if span is not None and span.t_transfer is None:
+            # the transfer itself finished now; the notification below is
+            # dispatched in the same progress call (deferred by construction)
+            span.t_transfer = self.ctx.clock.now_ns
         cell_iter = iter(self.cells)
         for req in self.requests:
             if req.kind == _FUTURE:
@@ -181,6 +189,8 @@ class PendingEvent:
                 self.ctx.progress_engine.enqueue_lpc(
                     lambda r=req: r.fn(*r.args)
                 )
+        if span is not None:
+            self.ctx.obs.close_notification(span, self.ctx.clock.now_ns)
 
 
 class CxDispatcher:
@@ -229,6 +239,30 @@ class CxDispatcher:
                     f"{req.describe()} requires the 2021.3.6 completion "
                     f"factories (build is {ctx.config.version.value})"
                 )
+        obs = ctx.obs
+        self._span: Optional["OpSpan"] = (
+            obs.begin_span(
+                op_name, _DEFER if self.any_deferred() else _EAGER
+            )
+            if obs is not None
+            else None
+        )
+
+    # -- observability --------------------------------------------------------
+
+    def mark_injected(
+        self, target_rank: int, nbytes: int, *, local: bool
+    ) -> None:
+        """Stamp the injection phase on this operation's span (no-op with
+        observability off).  ``local`` is the locality the op has already
+        branched on — never re-derived here, so the memoized reachability
+        counters are untouched."""
+        span = self._span
+        if span is not None:
+            span.target = target_rank
+            span.nbytes = nbytes
+            span.locality = "pshm" if local else "offnode"
+            span.t_injected = self.ctx.clock.now_ns
 
     # -- policy --------------------------------------------------------------
 
@@ -264,6 +298,13 @@ class CxDispatcher:
         """
         ctx = self.ctx
         vals = self._values_for(event, values)
+        # observability: the transfer is complete *now* for the operation
+        # event; each request's branch below closes the notification at the
+        # instant it becomes user-visible (immediately for eager, from the
+        # progress-queue thunk for deferred).
+        span = self._span if event is Event.OPERATION else None
+        if span is not None and span.t_transfer is None:
+            span.t_transfer = ctx.clock.now_ns
         for req in self.comps.by_event(event):
             if req.kind == _FUTURE:
                 if self._eager_allowed(req):
@@ -271,33 +312,53 @@ class CxDispatcher:
                         self._futures.append(Future(ready_cell(ctx, vals)))
                     else:
                         self._futures.append(Future(ready_unit_cell(ctx)))
+                    if span is not None:
+                        ctx.obs.close_notification(span, ctx.clock.now_ns)
                 else:
                     cell = alloc_cell(ctx, nvalues=len(vals), deps=1)
 
-                    def ready_it(cell=cell, vals=vals):
+                    def ready_it(cell=cell, vals=vals, note=span):
                         if cell.nvalues:
                             cell.values = vals
                         cell.fulfill()
+                        if note is not None:
+                            ctx.obs.close_notification(
+                                note, ctx.clock.now_ns
+                            )
 
                     ctx.progress_engine.enqueue_deferred(ready_it)
                     self._futures.append(Future(cell))
             elif req.kind == _PROMISE:
                 if self._eager_allowed(req):
-                    pass  # elide all modification of the promise
+                    # elide all modification of the promise
+                    if span is not None:
+                        ctx.obs.close_notification(span, ctx.clock.now_ns)
                 else:
                     req.promise.require_anonymous(1)
 
-                    def fulfill_it(req=req, vals=vals):
+                    def fulfill_it(req=req, vals=vals, note=span):
                         if req.promise.cell.nvalues:
                             req.promise.fulfill_result(*vals)
                         else:
                             req.promise.fulfill_anonymous(1)
+                        if note is not None:
+                            ctx.obs.close_notification(
+                                note, ctx.clock.now_ns
+                            )
 
                     ctx.progress_engine.enqueue_deferred(fulfill_it)
             elif req.kind == _LPC:
-                ctx.progress_engine.enqueue_lpc(
-                    lambda req=req: req.fn(*req.args)
-                )
+                if span is not None:
+
+                    def run_it(req=req, note=span):
+                        req.fn(*req.args)
+                        ctx.obs.close_notification(note, ctx.clock.now_ns)
+
+                    ctx.progress_engine.enqueue_lpc(run_it)
+                else:
+                    ctx.progress_engine.enqueue_lpc(
+                        lambda req=req: req.fn(*req.args)
+                    )
             # _RPC requests are shipped by the operation itself
 
     # -- asynchronous completion (the off-node case) -----------------------------
@@ -308,7 +369,11 @@ class CxDispatcher:
         the returned handle's ``complete()`` fires from progress context."""
         ctx = self.ctx
         reqs = self.comps.by_event(event)
-        pending = PendingEvent(ctx=ctx, requests=reqs)
+        pending = PendingEvent(
+            ctx=ctx,
+            requests=reqs,
+            span=self._span if event is Event.OPERATION else None,
+        )
         arity = self.nvalues if event is self.value_event else 0
         for req in reqs:
             if req.kind == _FUTURE:
@@ -332,6 +397,9 @@ class CxDispatcher:
         composition order)."""
         if not self._futures:
             return None
+        if self._span is not None:
+            for f in self._futures:
+                f._span = self._span  # lets wait() stamp t_waited
         if len(self._futures) == 1:
             return self._futures[0]
         return tuple(self._futures)

@@ -34,10 +34,13 @@ class Future:
     of the C++ API.
     """
 
-    __slots__ = ("_cell",)
+    __slots__ = ("_cell", "_span")
 
     def __init__(self, cell: PromiseCell):
         self._cell = cell
+        #: operation span this future notifies (observability only; set by
+        #: CxDispatcher.result() so wait() can stamp the waited phase)
+        self._span = None
 
     # -- queries ----------------------------------------------------------
 
@@ -106,13 +109,20 @@ class Future:
         cell = self._cell
         ctx.charge(CostAction.FUTURE_READY_CHECK)
         if cell.ready:
-            return self.result()
+            return self._finish_wait(ctx)
         while True:
             ctx.progress()
             ctx.charge(CostAction.FUTURE_READY_CHECK)
             if cell.ready:
-                return self.result()
+                return self._finish_wait(ctx)
             ctx.block_until(lambda: cell.ready or ctx.has_incoming())
+
+    def _finish_wait(self, ctx):
+        """Common tail of ``wait``: stamp the waited phase and unwrap."""
+        span = self._span
+        if span is not None and span.t_waited is None:
+            span.t_waited = ctx.clock.now_ns
+        return self.result()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "ready" if self._cell.ready else "pending"

@@ -82,6 +82,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.gasnet.adaptive import AdaptiveController, ThresholdDecision
+from repro.obs.metrics import DEPTH_EDGES as _BUNDLE_DEPTH_EDGES
 from repro.sim.costmodel import CostAction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -320,8 +321,15 @@ class AmAggregator:
         entries, payload = buf.take()
         ctx = self._ctx
         now = ctx.clock.now_ns
+        obs = ctx.obs
         for e in entries:
             self.parked_ns_total += now - e.ts_ns
+            if obs is not None:
+                obs.metrics.histogram("agg.parked_ns").record(now - e.ts_ns)
+        if obs is not None:
+            obs.metrics.histogram(
+                "agg.bundle_entries", _BUNDLE_DEPTH_EDGES
+            ).record(len(entries))
         if self.compress:
             # run detection + continuation-header emission, per entry
             ctx.charge(CostAction.AM_BUNDLE_COMPRESS, len(entries))

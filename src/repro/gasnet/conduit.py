@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import UpcxxError
 from repro.gasnet.am import ActiveMessage, AmInbox
 from repro.gasnet.aggregator import BUNDLE_HEADER_BYTES, ENTRY_HEADER_BYTES
+from repro.obs.metrics import DEPTH_EDGES
 from repro.sim.costmodel import CostAction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -170,6 +171,9 @@ class Conduit:
         src_ctx.charge(CostAction.AM_INJECT)
         if nbytes:
             src_ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
+        obs = src_ctx.obs
+        if obs is not None:
+            obs.metrics.counter("conduit.am_injected").inc()
         arrival = src_ctx.clock.now_ns + self.am_latency_ns(
             src_ctx.rank, dst_rank, nbytes
         )
@@ -217,6 +221,10 @@ class Conduit:
             else BUNDLE_HEADER_BYTES + ENTRY_HEADER_BYTES * len(entries)
         )
         src_ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, framing)
+        obs = src_ctx.obs
+        if obs is not None:
+            obs.metrics.counter("conduit.bundles_sent").inc()
+            obs.metrics.counter("conduit.am_injected").inc()
         wire_bytes = payload_bytes + framing
         arrival = src_ctx.clock.now_ns + self.am_latency_ns(
             src_ctx.rank, dst_rank, wire_bytes
@@ -255,11 +263,20 @@ class Conduit:
         if not inbox:
             return False
         ctx.charge(CostAction.AM_POLL)
+        obs = ctx.obs
+        if obs is not None:
+            obs.metrics.histogram(
+                "conduit.inbox_depth", DEPTH_EDGES
+            ).record(len(inbox))
+        delivered = 0
         while inbox:
             msg = inbox.pop()
             ctx.clock.advance_to(msg.arrival_ns)
             ctx.charge(CostAction.AM_EXECUTE)
             msg.handler(ctx, *msg.args)
+            delivered += 1
+        if obs is not None:
+            obs.metrics.counter("conduit.am_delivered").inc(delivered)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,190 @@
+"""A lightweight metrics registry: counters and fixed-bucket histograms.
+
+The observability layer needs distributions, not just totals — the paper's
+argument (and the MPI Continuations / HPX+LCI follow-ups) is that
+notification-latency *distributions* and progress-engine behaviour over
+time are what distinguish completion designs.  This module provides the
+minimal machinery for that: named monotonic counters and histograms with
+fixed bucket edges, owned per rank by :class:`~repro.obs.span.ObsState`
+and merged world-wide by :func:`merge_metrics`.
+
+Design constraints:
+
+* **Zero simulated cost** — recording a metric never charges the cost
+  model or touches the virtual clock, so enabling observability cannot
+  perturb any measured figure.
+* **Fixed buckets** — edges are chosen at creation and never rebalance,
+  so per-rank histograms merge by plain element-wise addition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: Default bucket edges for nanosecond latencies.  The first edge is 0.0
+#: so an *exactly zero* notification gap (the eager pshm-local signature)
+#: lands in its own bucket, distinguishable from merely-small gaps.
+LATENCY_EDGES_NS = (
+    0.0, 1.0, 10.0, 50.0, 100.0, 250.0, 500.0,
+    1e3, 2.5e3, 5e3, 1e4, 5e4, 1e5, 1e6,
+)
+
+#: Default bucket edges for queue depths / batch sizes.
+DEPTH_EDGES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Default bucket edges for payload sizes in bytes.
+SIZE_EDGES_BYTES = (0.0, 8.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+class CounterMetric:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable view of one histogram (mergeable across ranks)."""
+
+    name: str
+    edges: tuple[float, ...]
+    #: ``len(edges) + 1`` buckets; bucket ``i < len(edges)`` counts values
+    #: ``edges[i-1] < v <= edges[i]`` (first bucket: ``v <= edges[0]``),
+    #: the final bucket counts overflow values ``v > edges[-1]``.
+    counts: tuple[int, ...]
+    n: int
+    total: float
+    min: Optional[float]
+    max: Optional[float]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def bucket_label(self, i: int) -> str:
+        if i == 0:
+            return f"<= {self.edges[0]:g}"
+        if i == len(self.edges):
+            return f"> {self.edges[-1]:g}"
+        return f"{self.edges[i - 1]:g}..{self.edges[i]:g}"
+
+
+class HistogramMetric:
+    """A fixed-bucket histogram (see :class:`HistogramSnapshot`)."""
+
+    __slots__ = ("name", "edges", "counts", "n", "total", "min", "max")
+
+    def __init__(self, name: str, edges: Iterable[float] = LATENCY_EDGES_NS):
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        if not self.edges or list(self.edges) != sorted(set(self.edges)):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing edges"
+            )
+        self.counts = [0] * (len(self.edges) + 1)
+        self.n = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.edges, v)] += 1
+        self.n += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            name=self.name,
+            edges=self.edges,
+            counts=tuple(self.counts),
+            n=self.n,
+            total=self.total,
+            min=self.min,
+            max=self.max,
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable view of one registry (or a merge of several)."""
+
+    counters: dict[str, int]
+    histograms: dict[str, HistogramSnapshot]
+
+
+class MetricsRegistry:
+    """Per-rank named metrics, created lazily on first use."""
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(self):
+        self._counters: dict[str, CounterMetric] = {}
+        self._histograms: dict[str, HistogramMetric] = {}
+
+    def counter(self, name: str) -> CounterMetric:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = CounterMetric(name)
+        return c
+
+    def histogram(
+        self, name: str, edges: Iterable[float] = LATENCY_EDGES_NS
+    ) -> HistogramMetric:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = HistogramMetric(name, edges)
+        return h
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={n: c.value for n, c in self._counters.items()},
+            histograms={
+                n: h.snapshot() for n, h in self._histograms.items()
+            },
+        )
+
+
+def _merge_hist(
+    a: HistogramSnapshot, b: HistogramSnapshot
+) -> HistogramSnapshot:
+    if a.edges != b.edges:
+        raise ValueError(
+            f"cannot merge histograms {a.name!r}: differing bucket edges"
+        )
+    mins = [m for m in (a.min, b.min) if m is not None]
+    maxs = [m for m in (a.max, b.max) if m is not None]
+    return HistogramSnapshot(
+        name=a.name,
+        edges=a.edges,
+        counts=tuple(x + y for x, y in zip(a.counts, b.counts)),
+        n=a.n + b.n,
+        total=a.total + b.total,
+        min=min(mins) if mins else None,
+        max=max(maxs) if maxs else None,
+    )
+
+
+def merge_metrics(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Element-wise merge of per-rank registries (the world-wide view)."""
+    counters: dict[str, int] = {}
+    hists: dict[str, HistogramSnapshot] = {}
+    for snap in snapshots:
+        for name, value in snap.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        for name, h in snap.histograms.items():
+            hists[name] = _merge_hist(hists[name], h) if name in hists else h
+    return MetricsSnapshot(counters=counters, histograms=hists)

@@ -57,6 +57,7 @@ def copy(
             ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
             ctx.charge(CostAction.HEAP_FREE)
         ctx.charge(CostAction.GPTR_DOWNCAST, 2)
+        disp.mark_injected(dest.rank, count * src.ts.size, local=True)
         data = ctx.world.segment_of(src.rank).read_array(
             src.offset, src.ts, count
         )
@@ -94,6 +95,7 @@ def copy(
         )
     disp = CxDispatcher(ctx, comps, supported=_COPY_EVENTS, op_name="copy")
     pending = disp.pend(Event.OPERATION)
+    disp.mark_injected(dest.rank, count * src.ts.size, local=False)
     rget_bulk(src, count).then(
         lambda data: rput_bulk(data, dest).then(
             lambda: pending.complete(())

@@ -53,6 +53,7 @@ def rget(src: GlobalPtr, comps: Optional[Completions] = None):
             ctx.charge(CostAction.HEAP_FREE)
         ctx.charge(CostAction.GPTR_DOWNCAST)
         ctx.charge(CostAction.CPU_LOAD)
+        disp.mark_injected(src.rank, src.ts.size, local=True)
         value = ctx.world.segment_of(src.rank).read_scalar(src.offset, src.ts)
         disp.notify_sync(Event.OPERATION, (value,))
         return disp.result()
@@ -85,6 +86,7 @@ def rget_into(
             ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
             ctx.charge(CostAction.HEAP_FREE)
         ctx.charge(CostAction.GPTR_DOWNCAST)
+        disp.mark_injected(src.rank, nbytes, local=True)
         data = ctx.world.segment_of(src.rank).read_array(
             src.offset, src.ts, count
         )
@@ -123,6 +125,7 @@ def rget_bulk(src: GlobalPtr, count: int, comps: Optional[Completions] = None):
             ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
             ctx.charge(CostAction.HEAP_FREE)
         ctx.charge(CostAction.GPTR_DOWNCAST)
+        disp.mark_injected(src.rank, nbytes, local=True)
         ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
         data = ctx.world.segment_of(src.rank).read_array(
             src.offset, src.ts, count
@@ -185,4 +188,5 @@ def _remote_get(ctx, disp, src: GlobalPtr, *, count, dest, bulk=False):
         ctx, src.rank, on_target, nbytes=0, label="get_req",
         aggregatable=True,
     )
+    disp.mark_injected(src.rank, nbytes, local=False)
     return disp.result()

@@ -47,6 +47,7 @@ def _local_put(ctx, disp: CxDispatcher, dest: GlobalPtr, write, nbytes: int):
         ctx.charge(CostAction.HEAP_ALLOC_OP_DESCRIPTOR)
         ctx.charge(CostAction.HEAP_FREE)
     ctx.charge(CostAction.GPTR_DOWNCAST)
+    disp.mark_injected(dest.rank, nbytes, local=True)
     write()
     if nbytes <= 8:
         ctx.charge(CostAction.MEMCPY_8B)
@@ -95,6 +96,7 @@ def _remote_put(ctx, disp: CxDispatcher, dest: GlobalPtr, payload, nbytes: int):
         ctx, dest.rank, on_target, nbytes=nbytes, label="put_req",
         aggregatable=True,
     )
+    disp.mark_injected(dest.rank, nbytes, local=False)
     return disp.result()
 
 

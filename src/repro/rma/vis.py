@@ -35,7 +35,8 @@ def _start_vis(ctx, comps: Optional[Completions], op_name: str):
     return CxDispatcher(ctx, comps, supported=_VIS_EVENTS, op_name=op_name)
 
 
-def _local_vis_epilogue(ctx, disp, nbytes: int):
+def _local_vis_epilogue(ctx, disp, rank: int, nbytes: int):
+    disp.mark_injected(rank, nbytes, local=True)
     ctx.charge(CostAction.GPTR_DOWNCAST)
     ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, nbytes)
     disp.notify_sync(Event.SOURCE)
@@ -74,7 +75,7 @@ def rput_strided(
     for i in range(count):
         elem = dest + i * stride
         seg.write_scalar(elem.offset, dest.ts, arr[i])
-    return _local_vis_epilogue(ctx, disp, count * dest.ts.size)
+    return _local_vis_epilogue(ctx, disp, dest.rank, count * dest.ts.size)
 
 
 def rget_strided(
@@ -106,6 +107,7 @@ def rget_strided(
     if not src.is_local(ctx):
         return _remote_strided_get(ctx, disp, src, count, stride)
     seg = ctx.world.segment_of(src.rank)
+    disp.mark_injected(src.rank, count * src.ts.size, local=True)
     ctx.charge(CostAction.GPTR_DOWNCAST)
     ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, count * src.ts.size)
     out = np.empty(count, dtype=src.ts.dtype)
@@ -139,7 +141,7 @@ def rput_indexed(
     for k, i in enumerate(idx):
         elem = base + i
         seg.write_scalar(elem.offset, base.ts, arr[k])
-    return _local_vis_epilogue(ctx, disp, len(idx) * base.ts.size)
+    return _local_vis_epilogue(ctx, disp, base.rank, len(idx) * base.ts.size)
 
 
 def rget_indexed(
@@ -168,6 +170,7 @@ def rget_indexed(
     if not base.is_local(ctx):
         return _remote_indexed_get(ctx, disp, base, idx)
     seg = ctx.world.segment_of(base.rank)
+    disp.mark_injected(base.rank, len(idx) * base.ts.size, local=True)
     ctx.charge(CostAction.GPTR_DOWNCAST)
     ctx.charge_bytes(CostAction.MEMCPY_PER_BYTE, len(idx) * base.ts.size)
     out = np.empty(len(idx), dtype=base.ts.dtype)
@@ -212,6 +215,7 @@ def _remote_strided_put(ctx, disp, arr, dest, count, stride):
     ctx.conduit.send_am(
         ctx, dest.rank, on_target, nbytes=nbytes, label="vis_put"
     )
+    disp.mark_injected(dest.rank, nbytes, local=False)
     return disp.result()
 
 
@@ -238,6 +242,7 @@ def _remote_strided_get(ctx, disp, src, count, stride):
         )
 
     ctx.conduit.send_am(ctx, src.rank, on_target, label="vis_get")
+    disp.mark_injected(src.rank, nbytes, local=False)
     return disp.result()
 
 
@@ -263,6 +268,7 @@ def _remote_indexed_put(ctx, disp, arr, base, idx):
     ctx.conduit.send_am(
         ctx, base.rank, on_target, nbytes=nbytes, label="vis_iput"
     )
+    disp.mark_injected(base.rank, nbytes, local=False)
     return disp.result()
 
 
@@ -289,4 +295,5 @@ def _remote_indexed_get(ctx, disp, base, idx):
         )
 
     ctx.conduit.send_am(ctx, base.rank, on_target, label="vis_iget")
+    disp.mark_injected(base.rank, nbytes, local=False)
     return disp.result()

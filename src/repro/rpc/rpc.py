@@ -84,6 +84,11 @@ def rpc(target: int, fn: Callable, *args,
     ctx.conduit.send_am(
         ctx, target, on_target, nbytes=nbytes, label="rpc", aggregatable=True
     )
+    # topology lookup only (no conduit memo traffic): spans must not
+    # perturb the pshm-reachability hit counters
+    disp.mark_injected(
+        target, nbytes, local=ctx.world.same_node(ctx.rank, target)
+    )
     return disp.result()
 
 
@@ -122,7 +127,25 @@ def rpc_ff(target: int, fn: Callable, *args) -> None:
                 f"rpc_ff callback raised on rank {tctx.rank}: {exc!r}"
             ) from exc
 
+    obs = ctx.obs
+    span = None
+    if obs is not None:
+        # no dispatcher on the fire-and-forget path: there is no
+        # completion to notify, so the span ends at injection
+        span = obs.begin_span(
+            "rpc_ff",
+            "none",
+            target=target,
+            nbytes=nbytes,
+            locality=(
+                "pshm"
+                if ctx.world.same_node(ctx.rank, target)
+                else "offnode"
+            ),
+        )
     ctx.conduit.send_am(
         ctx, target, on_target, nbytes=nbytes, label="rpc_ff",
         aggregatable=True,
     )
+    if span is not None:
+        span.t_injected = ctx.clock.now_ns

@@ -106,6 +106,19 @@ class FeatureFlags:
         homogeneous streams (GUPS updates) pay the handler id once per
         run.  Pure wire-footprint model change — handlers still run
         identically.  Off by default.
+    obs_spans:
+        Operation-lifecycle observability (see :mod:`repro.obs`): every
+        asynchronous operation records a span with phase timestamps
+        (injected / transfer-complete / notification-dispatched /
+        waited), and the progress engine, conduit, and aggregator feed a
+        per-rank metrics registry.  Off by default on every build;
+        recording charges no cost-model actions, so virtual timings are
+        identical either way, and with the flag off ``RankContext.obs``
+        stays ``None`` (one attribute check per site — zero cost).
+    obs_span_capacity:
+        Maximum spans retained per rank; later spans are counted as
+        dropped but still stamped (only consulted when ``obs_spans`` is
+        on).
     """
 
     eager_notification: bool
@@ -124,6 +137,8 @@ class FeatureFlags:
     agg_max_age_ticks: float = 131072.0
     agg_ewma_alpha: float = 0.25
     agg_compression: bool = False
+    obs_spans: bool = False
+    obs_span_capacity: int = 65536
 
     def __post_init__(self):
         """Reject unusable aggregation knobs at construction.
@@ -173,6 +188,10 @@ class FeatureFlags:
         if not (0.0 < self.agg_ewma_alpha <= 1.0):
             raise UpcxxError(
                 f"agg_ewma_alpha must be in (0, 1], got {self.agg_ewma_alpha}"
+            )
+        if self.obs_span_capacity < 1:
+            raise UpcxxError(
+                f"obs_span_capacity must be >= 1, got {self.obs_span_capacity}"
             )
 
     def replace(self, **kw) -> "FeatureFlags":

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.gasnet.conduit import Conduit
     from repro.memory.allocator import SharedAllocator
     from repro.memory.segment import Segment
+    from repro.obs import ObsState
     from repro.runtime.runtime import World
     from repro.runtime.scheduler import CooperativeScheduler
 
@@ -74,6 +75,9 @@ class RankContext:
         #: per-rank AM aggregator; wired by the runtime only when
         #: ``flags.am_aggregation`` is set (None → zero overhead)
         self.am_agg: Optional["AmAggregator"] = None
+        #: per-rank observability state; wired by the runtime only when
+        #: ``flags.obs_spans`` is set (None → zero overhead)
+        self.obs: Optional["ObsState"] = None
         self.scheduler: Optional["CooperativeScheduler"] = None
         self._barrier_epoch = 0
 

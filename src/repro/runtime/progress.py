@@ -92,6 +92,10 @@ class ProgressEngine:
         ctx.charge(CostAction.PROGRESS_POLL)
         self._in_progress = True
         did_work = False
+        obs = ctx.obs
+        if obs is not None:
+            obs.on_progress_enter(len(self._deferred), ctx.clock.now_ns)
+        dispatched = 0
         try:
             # publish destination-batched AMs before doing anything else:
             # progress entry is a flush point (covers barrier()/wait() too,
@@ -107,11 +111,13 @@ class ProgressEngine:
                     ctx.charge(CostAction.PROGRESS_DISPATCH)
                     thunk()
                     did_work = True
+                    dispatched += 1
                 while self._lpcs:
                     lpc = self._lpcs.popleft()
                     ctx.charge(CostAction.PROGRESS_DISPATCH)
                     lpc()
                     did_work = True
+                    dispatched += 1
                 # callbacks may have triggered AM sends back to ourselves
                 for poll in self._pollers:
                     if poll():
@@ -123,4 +129,6 @@ class ProgressEngine:
                 did_work = True
         finally:
             self._in_progress = False
+        if obs is not None:
+            obs.on_progress_drained(dispatched)
         return did_work

@@ -35,6 +35,7 @@ from repro.gasnet.conduit import Conduit, make_conduit
 from repro.gasnet.team import Team
 from repro.memory.allocator import SharedAllocator
 from repro.memory.segment import Segment
+from repro.obs import ObsState
 from repro.runtime.config import RuntimeConfig, Version
 from repro.runtime.context import RankContext, set_current_ctx
 from repro.runtime.scheduler import CooperativeScheduler
@@ -82,6 +83,8 @@ class World:
             ctx.conduit = self.conduit
             if ctx.flags.am_aggregation:
                 ctx.am_agg = AmAggregator(ctx)
+            if ctx.flags.obs_spans:
+                ctx.obs = ObsState(ctx)
             ctx.progress_engine.register_poller(
                 lambda c=ctx: self.conduit.poll(c)
             )
@@ -122,6 +125,12 @@ class World:
         """Rendezvous of all ranks; clocks synchronize to the latest
         arrival plus the barrier cost.  Provides user-level progress while
         waiting (as ``upcxx::barrier`` does)."""
+        obs = ctx.obs
+        span = (
+            obs.begin_span("barrier", "none", locality="coll")
+            if obs is not None
+            else None
+        )
         ctx.charge(CostAction.BARRIER)
         epoch = self._barrier_epoch
         self._barrier_arrived += 1
@@ -135,6 +144,9 @@ class World:
             self._barrier_epoch += 1
             ctx.clock.advance_to(self._barrier_release_ns)
             ctx.progress()
+            if span is not None:
+                obs.close_notification(span, ctx.clock.now_ns)
+                span.t_waited = ctx.clock.now_ns
             return
         while self._barrier_epoch == epoch:
             ctx.progress()
@@ -144,6 +156,9 @@ class World:
                 lambda: self._barrier_epoch != epoch or ctx.has_incoming()
             )
         ctx.clock.advance_to(self._barrier_release_ns)
+        if span is not None:
+            obs.close_notification(span, ctx.clock.now_ns)
+            span.t_waited = ctx.clock.now_ns
 
     # -- measurement helpers ------------------------------------------------------
 

@@ -93,6 +93,44 @@ def run_samples(
 # ---------------------------------------------------------------------------
 
 
+def gather_rank_snapshots(world: "World", getter: Callable):
+    """Collect per-rank observability snapshots across ``world.contexts``.
+
+    ``getter(ctx)`` returns the rank's snapshot or ``None`` when the
+    corresponding subsystem is disabled on that rank; disabled ranks are
+    skipped.  This is the one shared rollup walk behind
+    :func:`aggregation_snapshots` and :func:`observability_snapshots` —
+    every per-rank stats subsystem gathers through it so world iteration
+    and the None-means-off convention live in a single place.
+    """
+    snaps = []
+    for ctx in world.contexts:
+        snap = getter(ctx)
+        if snap is not None:
+            snaps.append(snap)
+    return snaps
+
+
+def observability_snapshots(world: "World"):
+    """Per-rank :class:`~repro.obs.ObsSnapshot` list (empty when
+    ``FeatureFlags.obs_spans`` is off)."""
+    return gather_rank_snapshots(
+        world,
+        lambda ctx: ctx.obs.snapshot() if ctx.obs is not None else None,
+    )
+
+
+def observability_stats(world: "World"):
+    """World-wide :class:`~repro.obs.ObsStats` rollup (``None`` when
+    ``FeatureFlags.obs_spans`` is off)."""
+    snaps = observability_snapshots(world)
+    if not snaps:
+        return None
+    from repro.obs import merge_obs_snapshots  # local: repro.obs is leaf-light
+
+    return merge_obs_snapshots(snaps)
+
+
 def pshm_cache_hits(world: "World") -> int:
     """Lookups served by the conduit's static-topology reachability memo.
 
@@ -157,11 +195,7 @@ def aggregation_stats(world: "World") -> AggregationStats:
     age = updates = decisions = saved = 0
     hist: dict[int, int] = {}
     reasons: dict[str, int] = {}
-    for ctx in world.contexts:
-        agg = ctx.am_agg
-        if agg is None:
-            continue
-        s = agg.stats()
+    for s in aggregation_snapshots(world):
         appended += s.appended
         flushed += s.bundles_flushed
         entries += s.entries_flushed
@@ -195,6 +229,7 @@ def aggregation_snapshots(world: "World"):
     (empty when aggregation is off) — the full per-rank view behind
     :func:`aggregation_stats`, including each rank's adaptive threshold
     trajectory."""
-    return [
-        ctx.am_agg.stats() for ctx in world.contexts if ctx.am_agg is not None
-    ]
+    return gather_rank_snapshots(
+        world,
+        lambda ctx: ctx.am_agg.stats() if ctx.am_agg is not None else None,
+    )

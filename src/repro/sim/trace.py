@@ -98,11 +98,30 @@ class Tracer:
                 return e
         return None
 
+    def summary(self) -> dict:
+        """Structured completeness accounting: what was recorded, what was
+        dropped at capacity, and whether the record is partial."""
+        return {
+            "recorded": len(self.events),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "complete": self.dropped == 0,
+        }
+
     # -- rendering -----------------------------------------------------------
 
     def format_timeline(self, limit: int = 50) -> str:
-        """A human-readable timeline (first ``limit`` events)."""
-        lines = ["     t/ns  rank  action"]
+        """A human-readable timeline (first ``limit`` events).
+
+        A capacity-truncated trace says so up front in the header — a
+        silently incomplete timeline reads exactly like a complete one,
+        so the dropped count is surfaced before the events, not only in
+        the trailing marker line.
+        """
+        header = "     t/ns  rank  action"
+        if self.dropped:
+            header += f"  [dropped={self.dropped} at capacity={self.capacity}]"
+        lines = [header]
         for e in self.events[:limit]:
             lines.append(
                 f"{e.t_ns:9.1f}  {e.rank:4d}  {e.action.value}"

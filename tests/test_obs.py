@@ -1,0 +1,379 @@
+"""The observability layer: spans, metrics, exporters, and — most
+importantly — the paper's notification-gap claims pinned as *ordering*
+assertions on spans rather than timing heuristics.
+
+The load-bearing tests:
+
+* an eager, value-less, pshm-local operation has a notification gap of
+  **exactly zero** (the transfer-complete and notification-dispatched
+  stamps coincide);
+* a deferred operation's notification stays undelivered until a
+  ``progress()`` call dispatches it, and the resulting gap is bounded
+  below by the progress-poll cost;
+* turning observability on changes **nothing** measurable: virtual solve
+  times and checksums are bit-identical with the flag on or off.
+"""
+
+import json
+
+import pytest
+
+from repro import new_, operation_cx, rput
+from repro.obs import (
+    DEPTH_EDGES,
+    LATENCY_EDGES_NS,
+    CounterMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    SpanRecorder,
+    chrome_trace,
+    merge_metrics,
+    merge_obs_snapshots,
+    trace_events,
+    validate_trace_events,
+    write_chrome_trace,
+)
+from repro.rma import rget
+from repro.runtime.config import Version, flags_for
+from repro.runtime.runtime import spmd_run
+from repro.sim.costmodel import CostAction
+from repro.sim.stats import (
+    gather_rank_snapshots,
+    observability_snapshots,
+    observability_stats,
+)
+
+VD = Version.V2021_3_6_DEFER
+VE = Version.V2021_3_6_EAGER
+
+
+def obs_flags(version):
+    return flags_for(version).replace(obs_spans=True)
+
+
+# ---------------------------------------------------------------------------
+# metrics primitives
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = CounterMetric("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_histogram_bucketing(self):
+        h = HistogramMetric("h", (0.0, 10.0, 100.0))
+        h.record(0.0)  # exactly zero -> first bucket
+        h.record(5.0)
+        h.record(10.0)  # on-edge -> its own bucket, not the next
+        h.record(50.0)
+        h.record(1000.0)  # overflow
+        assert h.counts == [1, 2, 1, 1]
+        assert h.n == 5
+        assert h.min == 0.0 and h.max == 1000.0
+        snap = h.snapshot()
+        assert snap.mean == pytest.approx(1065.0 / 5)
+        assert snap.bucket_label(0) == "<= 0"
+        assert snap.bucket_label(len(snap.edges)) == "> 100"
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            HistogramMetric("h", (1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            HistogramMetric("h", (2.0, 1.0))
+
+    def test_registry_lazy_and_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+        reg.counter("a").inc(3)
+        snap = reg.snapshot()
+        assert snap.counters == {"a": 3}
+
+    def test_merge_metrics(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("c").inc(2)
+        r2.counter("c").inc(5)
+        r1.histogram("h", DEPTH_EDGES).record(1)
+        r2.histogram("h", DEPTH_EDGES).record(100)
+        m = merge_metrics([r1.snapshot(), r2.snapshot()])
+        assert m.counters["c"] == 7
+        assert m.histograms["h"].n == 2
+        assert m.histograms["h"].min == 1.0
+        assert m.histograms["h"].max == 100.0
+
+    def test_merge_rejects_mismatched_edges(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("h", (0.0, 1.0)).record(0)
+        r2.histogram("h", (0.0, 2.0)).record(0)
+        with pytest.raises(ValueError):
+            merge_metrics([r1.snapshot(), r2.snapshot()])
+
+
+class TestSpanRecorder:
+    def test_capacity_drops_but_spans_still_stamp(self):
+        rec = SpanRecorder(rank=0, capacity=2)
+        spans = [rec.begin("op", "eager", float(i)) for i in range(5)]
+        assert len(rec.spans) == 2
+        assert rec.dropped == 3
+        # dropped spans remain usable by the in-flight operation
+        spans[4].t_transfer = 9.0
+        spans[4].t_dispatched = 9.0
+        assert spans[4].notification_gap_ns == 0.0
+
+    def test_sids_unique(self):
+        rec = SpanRecorder(rank=0, capacity=8)
+        sids = [rec.begin("op", "none", 0.0).sid for _ in range(4)]
+        assert sids == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# the notification-gap claims (single-rank, ambient world)
+# ---------------------------------------------------------------------------
+
+
+class TestNotificationGap:
+    def test_flag_off_means_no_obs_state(self, versioned_ctx):
+        ctx = versioned_ctx(VE)
+        assert ctx.obs is None
+
+    def test_eager_valueless_pshm_gap_exactly_zero(self, versioned_ctx):
+        ctx = versioned_ctx(VE, flags=obs_flags(VE))
+        g = new_("u64")
+        fut = rput(1, g, operation_cx.as_future())
+        assert fut.is_ready()
+        span = ctx.obs.spans.spans[-1]
+        assert span.op == "rput"
+        assert (span.mode, span.locality) == ("eager", "pshm")
+        assert span.notification_gap_ns == 0.0
+
+    def test_defer_gap_closed_only_by_progress(self, versioned_ctx):
+        ctx = versioned_ctx(VD, flags=obs_flags(VD))
+        g = new_("u64")
+        fut = rput(1, g, operation_cx.as_future())
+        span = ctx.obs.spans.spans[-1]
+        # the transfer finished synchronously, the notification did not:
+        # this ordering — not a timing threshold — is the deferred story
+        assert span.t_transfer is not None
+        assert span.t_dispatched is None
+        assert not fut.is_ready()
+        ctx.progress()
+        assert fut.is_ready()
+        assert span.t_dispatched is not None
+        gap = span.notification_gap_ns
+        # the gap can never be cheaper than entering the progress engine
+        assert gap >= ctx.profile.cost_ns(CostAction.PROGRESS_POLL)
+
+    def test_eager_value_producing_gap_is_alloc_only(self, versioned_ctx):
+        """A value-producing eager rget pays only the result-cell
+        allocation between transfer and dispatch — strictly less than
+        any deferred round-trip through the progress queue."""
+        ctx = versioned_ctx(VE, flags=obs_flags(VE))
+        g = new_("u64", 7)
+        assert rget(g, operation_cx.as_future()).wait() == 7
+        eager_gap = ctx.obs.spans.spans[-1].notification_gap_ns
+
+        ctx = versioned_ctx(VD, flags=obs_flags(VD))
+        g = new_("u64", 7)
+        assert rget(g, operation_cx.as_future()).wait() == 7
+        defer_gap = ctx.obs.spans.spans[-1].notification_gap_ns
+
+        assert eager_gap is not None and defer_gap is not None
+        assert 0.0 <= eager_gap < defer_gap
+
+    def test_wait_stamps_t_waited(self, versioned_ctx):
+        ctx = versioned_ctx(VD, flags=obs_flags(VD))
+        g = new_("u64")
+        rput(1, g, operation_cx.as_future()).wait()
+        span = ctx.obs.spans.spans[-1]
+        assert span.t_waited is not None
+        assert span.t_waited >= span.t_dispatched
+
+
+# ---------------------------------------------------------------------------
+# world rollups + the spmd path
+# ---------------------------------------------------------------------------
+
+
+def _two_rank_put_body():
+    from repro import barrier, rank_me
+    from repro.memory.global_ptr import GlobalPtr
+
+    tgt = new_("u64", 0)
+    barrier()
+    if rank_me() == 0:
+        remote = GlobalPtr(1, tgt.offset, tgt.ts)
+        for _ in range(8):
+            rput(1, remote, operation_cx.as_future()).wait()
+    barrier()
+    return 0
+
+
+class TestWorldRollup:
+    def test_flag_off_snapshots_empty(self):
+        res = spmd_run(_two_rank_put_body, ranks=2, version=VE)
+        assert observability_snapshots(res.world) == []
+        assert observability_stats(res.world) is None
+
+    def test_eager_vs_defer_gap_classes(self):
+        res_e = spmd_run(
+            _two_rank_put_body, ranks=2, version=VE, flags=obs_flags(VE)
+        )
+        res_d = spmd_run(
+            _two_rank_put_body, ranks=2, version=VD, flags=obs_flags(VD)
+        )
+        se = observability_stats(res_e.world)
+        sd = observability_stats(res_d.world)
+        ge = se.gap("eager", "pshm")
+        gd = sd.gap("defer", "pshm")
+        assert ge.count == 8 and ge.zeros == 8 and ge.mean_ns == 0.0
+        assert gd.count == 8 and gd.zeros == 0 and gd.mean_ns > 0.0
+        # the deferred world actually sampled its progress queue
+        depth = sd.metrics.histograms["progress.deferred_depth"]
+        assert depth.n > 0
+
+    def test_gather_rank_snapshots_skips_none(self):
+        res = spmd_run(
+            _two_rank_put_body, ranks=2, version=VE, flags=obs_flags(VE)
+        )
+        marks = gather_rank_snapshots(
+            res.world, lambda ctx: ctx.rank if ctx.rank else None
+        )
+        assert marks == [1]
+        snaps = observability_snapshots(res.world)
+        assert [s.rank for s in snaps] == [0, 1]
+
+    def test_merge_counts_dropped(self, versioned_ctx):
+        ctx = versioned_ctx(
+            VE, flags=obs_flags(VE).replace(obs_span_capacity=2)
+        )
+        g = new_("u64")
+        for _ in range(5):
+            rput(1, g, operation_cx.as_future()).wait()
+        stats = merge_obs_snapshots([ctx.obs.snapshot()])
+        assert stats.total_dropped == 3
+        assert stats.total_spans == 5
+
+
+# ---------------------------------------------------------------------------
+# the flag must not move a single virtual tick
+# ---------------------------------------------------------------------------
+
+
+class TestZeroPerturbation:
+    @pytest.mark.parametrize("version", [VD, VE])
+    def test_gups_bit_identical_with_obs_on(self, version):
+        from repro.apps.gups import GupsConfig, run_gups
+
+        cfg = GupsConfig(table_log2=8, updates_per_rank=24, batch=8)
+        base = run_gups(cfg, ranks=4, version=version, machine="intel")
+        traced = run_gups(
+            cfg,
+            ranks=4,
+            version=version,
+            machine="intel",
+            flags=obs_flags(version),
+        )
+        assert traced.solve_ns == base.solve_ns
+        assert traced.checksum == base.checksum
+        assert traced.gups == base.gups
+        assert traced.obs_stats is not None and base.obs_stats is None
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExport:
+    def _snapshots(self):
+        res = spmd_run(
+            _two_rank_put_body, ranks=2, version=VD, flags=obs_flags(VD)
+        )
+        return observability_snapshots(res.world)
+
+    def test_trace_events_validate_clean(self):
+        events = trace_events(self._snapshots())
+        assert validate_trace_events(events) == []
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        # metadata first, then time-ordered
+        body = [e for e in events if e["ph"] != "M"]
+        assert all(
+            body[i]["ts"] <= body[i + 1]["ts"] for i in range(len(body) - 1)
+        )
+
+    def test_span_args_carry_gap(self):
+        events = trace_events(self._snapshots())
+        puts = [
+            e for e in events if e["ph"] == "X" and e["name"] == "rput"
+        ]
+        assert puts
+        for e in puts:
+            assert e["args"]["mode"] == "defer"
+            assert e["args"]["notification_gap_ns"] > 0
+
+    def test_chrome_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._snapshots())
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        assert validate_trace_events(doc) == []
+
+    def test_validator_flags_garbage(self):
+        errs = validate_trace_events(
+            [{"name": "x"}, {"ph": "Z", "name": 3, "pid": "a", "tid": 0}]
+        )
+        assert errs
+        assert validate_trace_events({"traceEvents": []})
+        assert validate_trace_events({"no": "events"})
+
+
+# ---------------------------------------------------------------------------
+# harness integration
+# ---------------------------------------------------------------------------
+
+
+class TestTracedHarness:
+    def test_traced_gups_writes_valid_trace(self, tmp_path):
+        from repro.apps.gups import GupsConfig
+        from repro.bench.harness import traced_gups
+
+        path = tmp_path / "gups.trace.json"
+        res = traced_gups(
+            GupsConfig(table_log2=8, updates_per_rank=16, batch=8),
+            ranks=4,
+            version=VE,
+            trace_path=path,
+        )
+        assert res.obs_stats is not None
+        assert res.obs_stats.ranks == 4
+        doc = json.loads(path.read_text())
+        assert validate_trace_events(doc) == []
+
+    def test_traced_micro_reports_gap(self):
+        from repro.bench.harness import traced_micro
+
+        ns_e, _, stats_e = traced_micro("put", VE, "intel", n_ops=16)
+        ns_d, _, stats_d = traced_micro("put", VD, "intel", n_ops=16)
+        assert ns_e < ns_d
+        assert stats_e.gap("eager", "pshm").mean_ns == 0.0
+        assert stats_d.gap("defer", "pshm").mean_ns > 0.0
+
+    def test_notification_report_renders(self):
+        from repro.bench.report import (
+            format_notification_report,
+            format_span_timeline,
+        )
+
+        res = spmd_run(
+            _two_rank_put_body, ranks=2, version=VD, flags=obs_flags(VD)
+        )
+        stats = observability_stats(res.world)
+        text = format_notification_report("t", stats)
+        assert "defer" in text and "zero-gap" in text
+        snaps = observability_snapshots(res.world)
+        timeline = format_span_timeline(snaps, limit=5)
+        assert "rput" in timeline

@@ -99,3 +99,32 @@ class TestRendering:
             ctx.charge(CostAction.CPU_LOAD)
         text = tr.format_timeline(limit=10)
         assert "50 more events" in text
+
+    def test_timeline_surfaces_drops_in_header(self, ctx):
+        tr = Tracer(capacity=2)
+        tr.attach(ctx)
+        for _ in range(5):
+            ctx.charge(CostAction.CPU_LOAD)
+        text = tr.format_timeline()
+        first_line = text.splitlines()[0]
+        assert "dropped=3" in first_line
+        assert "capacity=2" in first_line
+        assert "3 events dropped (capacity)" in text
+
+    def test_summary_accounting(self, ctx):
+        tr = Tracer(capacity=2)
+        tr.attach(ctx)
+        assert tr.summary() == {
+            "recorded": 0,
+            "dropped": 0,
+            "capacity": 2,
+            "complete": True,
+        }
+        for _ in range(5):
+            ctx.charge(CostAction.CPU_LOAD)
+        assert tr.summary() == {
+            "recorded": 2,
+            "dropped": 3,
+            "capacity": 2,
+            "complete": False,
+        }

@@ -1,14 +1,28 @@
-"""Diagnostic tool: per-operation cost breakdowns with the tracer.
+"""Diagnostic tool: per-operation lifecycle spans and cost breakdowns.
 
-Prints, for each (build × operation), the exact sequence of cost-model
-events on the critical path — the "receipt" behind every microbenchmark
-number, and the quickest way to see what eager notification removes.
+For each (build × operation) this prints two receipts:
+
+* the **span view** — the operation's lifecycle timestamps (init,
+  injected, transfer-complete, notification-dispatched, waited) and the
+  notification gap, straight from the observability layer
+  (``FeatureFlags.obs_spans``); the quickest way to *see* what eager
+  notification removes is the defer row's nonzero gap collapsing to zero
+  in the eager row;
+* the **cost view** — the exact sequence of cost-model events on the
+  critical path (the tracer), the "receipt" behind every
+  microbenchmark number.
 
 Usage::
 
-    python tools/diagnose.py [machine]
+    python tools/diagnose.py [machine] [--json]
+
+``--json`` emits one machine-readable document (per-op spans, gap,
+cost events, and the rank's metrics counters) instead of the text
+report.
 """
 
+import argparse
+import json
 import sys
 
 from repro import (
@@ -19,7 +33,7 @@ from repro import (
     rget_into,
     rput,
 )
-from repro.runtime.config import RuntimeConfig, Version
+from repro.runtime.config import RuntimeConfig, Version, flags_for
 from repro.runtime.context import set_current_ctx
 from repro.runtime.runtime import build_world
 from repro.sim.trace import Tracer
@@ -35,40 +49,117 @@ OPS = {
     .wait(),
 }
 
+VERSIONS = (Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER)
 
-def breakdown(version: Version, machine: str, op: str) -> tuple[float, str]:
+
+def diagnose(version: Version, machine: str, op: str) -> dict:
+    """Run one warmed-up operation with spans + tracer attached; return
+    the structured receipt."""
     world = build_world(
-        RuntimeConfig(version=version, machine=machine, conduit="smp")
+        RuntimeConfig(
+            version=version,
+            machine=machine,
+            conduit="smp",
+            flags=flags_for(version).replace(obs_spans=True),
+        )
     )
     ctx = world.contexts[0]
     set_current_ctx(ctx)
     try:
         OPS[op]()  # warm up allocation paths outside the trace
+        n_before = len(ctx.obs.spans.spans)
         tracer = Tracer()
         tracer.attach(ctx)
         t0 = ctx.clock.now_ns
         OPS[op]()
         elapsed = ctx.clock.now_ns - t0
         tracer.detach(ctx)
-        lines = []
-        for e in tracer.events:
-            cost = ctx.profile.cost_ns(e.action) * e.times
-            label = e.action.value + (f" x{e.times}" if e.times > 1 else "")
-            lines.append(f"    {cost:7.1f} ns  {label}")
-        return elapsed, "\n".join(lines)
+        # the timed op's span is the first one recorded after the mark
+        span = ctx.obs.spans.spans[n_before]
+        events = [
+            {
+                "action": e.action.value,
+                "times": e.times,
+                "cost_ns": ctx.profile.cost_ns(e.action) * e.times,
+            }
+            for e in tracer.events
+        ]
+        return {
+            "op": op,
+            "version": version.value,
+            "machine": machine,
+            "elapsed_ns": elapsed,
+            "span": {
+                "op": span.op,
+                "mode": span.mode,
+                "locality": span.locality,
+                "nbytes": span.nbytes,
+                "t_init": span.t_init,
+                "t_injected": span.t_injected,
+                "t_transfer": span.t_transfer,
+                "t_dispatched": span.t_dispatched,
+                "t_waited": span.t_waited,
+                "notification_gap_ns": span.notification_gap_ns,
+            },
+            "cost_events": events,
+            "counters": dict(ctx.obs.metrics.snapshot().counters),
+        }
     finally:
         set_current_ctx(None)
 
 
-def main(machine: str = "intel") -> None:
+def _fmt_ts(t, t0):
+    return "-" if t is None else f"{t - t0:+.1f}"
+
+
+def render_text(receipt: dict) -> str:
+    s = receipt["span"]
+    t0 = s["t_init"]
+    lines = [
+        f"  {receipt['version']}: {receipt['elapsed_ns']:.1f} ns   "
+        f"[mode={s['mode']} locality={s['locality']} "
+        f"gap={s['notification_gap_ns']:.1f} ns]",
+        f"    span: init{_fmt_ts(s['t_init'], t0)}  "
+        f"inject{_fmt_ts(s['t_injected'], t0)}  "
+        f"transfer{_fmt_ts(s['t_transfer'], t0)}  "
+        f"dispatch{_fmt_ts(s['t_dispatched'], t0)}  "
+        f"wait{_fmt_ts(s['t_waited'], t0)}",
+    ]
+    for e in receipt["cost_events"]:
+        label = e["action"] + (f" x{e['times']}" if e["times"] > 1 else "")
+        lines.append(f"    {e['cost_ns']:7.1f} ns  {label}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/diagnose.py",
+        description="Per-operation span + cost-model receipts.",
+    )
+    parser.add_argument("machine", nargs="?", default="intel")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of the text report",
+    )
+    args = parser.parse_args(argv)
+
+    receipts = [
+        diagnose(version, args.machine, op)
+        for op in OPS
+        for version in VERSIONS
+    ]
+    if args.json:
+        print(json.dumps({"machine": args.machine, "ops": receipts},
+                         indent=2))
+        return 0
     for op in OPS:
-        print(f"=== {op} on {machine} " + "=" * 30)
-        for version in (Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER):
-            total, detail = breakdown(version, machine, op)
-            print(f"  {version.value}: {total:.1f} ns")
-            print(detail)
+        print(f"=== {op} on {args.machine} " + "=" * 30)
+        for r in receipts:
+            if r["op"] == op:
+                print(render_text(r))
         print()
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "intel")
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,139 @@
+"""Extension: adaptive progress control in a defer-heavy GUPS sweep.
+
+The ``prog_adaptive`` GUPS variant is a drain-loop workout: every update
+is a promise-tracked atomic whose completion parks on the deferred queue
+(deferred notification), and each batch is followed by a polling-driven
+idle segment where the static engine pays a full ``PROGRESS_POLL`` per
+call for nothing.  The adaptive controller must show the paper-style
+trade on this workload:
+
+* **latency** — the mean defer notification gap drops versus the static
+  engine (the age bound plus enqueue-time mini-drains retire parked
+  completions instead of letting them wait for the next natural poll);
+* **overhead** — the total ``PROGRESS_POLL`` charge does not exceed the
+  static run's by more than ``POLL_BUDGET_FACTOR`` (the poll-thinning
+  elisions must at least pay for the mini-drain polls the age guarantee
+  introduces — in practice the total comes out *below* static).
+"""
+
+from benchmarks.conftest import bench_scale, write_figure
+from repro.apps.gups import GupsConfig, run_gups
+from repro.bench.report import format_progress_report, format_table
+from repro.runtime.config import Version, flags_for
+
+VD = Version.V2021_3_6_DEFER
+
+#: documented overhead bound: adaptive total PROGRESS_POLL charge must
+#: stay within this factor of the static defer run's
+POLL_BUDGET_FACTOR = 1.05
+
+GAP_KEY = ("defer", "pshm")
+
+
+def _flags(adaptive: bool):
+    base = flags_for(VD).replace(obs_spans=True)
+    if not adaptive:
+        return base
+    return base.replace(
+        progress_adaptive=True,
+        progress_min_batch=2,
+        progress_max_batch=64,
+        progress_max_poll_interval=32,
+        progress_max_age_ticks=4000.0,
+    )
+
+
+def _run(cfg, adaptive):
+    return run_gups(
+        cfg, ranks=8, version=VD, machine="intel", flags=_flags(adaptive)
+    )
+
+
+def test_adaptive_progress_sweep(benchmark, figure_dir):
+    s = bench_scale()
+    rows = []
+    last_adaptive = None
+    for batch in (16, 32, 64):
+        cfg = GupsConfig(
+            variant="prog_adaptive",
+            table_log2=10,
+            updates_per_rank=128 * s,
+            batch=batch,
+        )
+        static = _run(cfg, adaptive=False)
+        adaptive = _run(cfg, adaptive=True)
+        last_adaptive = adaptive
+        assert static.matches_oracle and adaptive.matches_oracle
+
+        gap_s = static.obs_stats.gaps[GAP_KEY].hist.mean
+        gap_a = adaptive.obs_stats.gaps[GAP_KEY].hist.mean
+        # the headline claims, per sweep point
+        assert gap_a < gap_s, f"batch={batch}: gap did not improve"
+        assert (
+            adaptive.progress_polls
+            <= static.progress_polls * POLL_BUDGET_FACTOR
+        ), f"batch={batch}: poll budget exceeded"
+        assert adaptive.progress_poll_skips > 0
+        assert static.progress_poll_skips == 0
+
+        rows.append([
+            str(batch),
+            f"{gap_s:.0f}",
+            f"{gap_a:.0f}",
+            f"{gap_s / gap_a:.2f}x",
+            str(static.progress_polls),
+            str(adaptive.progress_polls),
+            str(adaptive.progress_poll_skips),
+            str(adaptive.prog_stats.aged_dispatched),
+        ])
+
+    table = format_table(
+        "Extension: adaptive progress vs. static defer "
+        f"(GUPS prog_adaptive, Intel, 8 ranks, poll budget x{POLL_BUDGET_FACTOR})",
+        [
+            "batch", "gap static ns", "gap adaptive ns", "gap gain",
+            "polls static", "polls adaptive", "skips", "aged disp",
+        ],
+        rows,
+    )
+    controller = format_progress_report(
+        "controller rollup (last sweep point)", last_adaptive.prog_stats
+    )
+    write_figure(
+        figure_dir, "ext_gups_prog_adaptive.txt", table + "\n\n" + controller
+    )
+
+    benchmark.pedantic(
+        lambda: _run(
+            GupsConfig(
+                variant="prog_adaptive",
+                table_log2=9,
+                updates_per_rank=32,
+                batch=16,
+            ),
+            adaptive=True,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_flag_off_is_bit_identical(figure_dir):
+    """With ``progress_adaptive`` off the new code paths are dead: the
+    defer figure is bit-identical whatever the progress knobs hold."""
+    cfg = GupsConfig(
+        variant="prog_adaptive", table_log2=9, updates_per_rank=48, batch=16
+    )
+    a = run_gups(cfg, ranks=8, version=VD, machine="intel")
+    b = run_gups(
+        cfg, ranks=8, version=VD, machine="intel",
+        flags=flags_for(VD).replace(
+            progress_min_batch=1,
+            progress_max_batch=2,
+            progress_max_age_ticks=1.0,
+        ),
+    )
+    assert a.solve_ns == b.solve_ns
+    assert a.checksum == b.checksum
+    assert a.progress_polls == b.progress_polls
+    assert b.progress_poll_skips == 0

@@ -27,7 +27,7 @@ Six variants, exactly the paper's:
 ``amo_future``
     remote atomic ``bit_xor`` per update, future-conjoined per batch.
 
-A seventh variant goes beyond the paper:
+Two further variants go beyond the paper:
 
 ``agg``
     one-sided fire-and-forget updates (``rpc_ff`` applying the xor at the
@@ -37,6 +37,16 @@ A seventh variant goes beyond the paper:
     aggregation layer coalesces the per-destination update messages into
     bundles — the destination-batching optimization that attacks the
     injection/latency costs eager notification cannot (§IV-A).
+``prog_adaptive``
+    a defer-heavy pattern exercising the adaptive progress controller:
+    promise-tracked atomic updates (each parks a completion on the
+    deferred queue under deferred notification) alternating with an idle
+    polling segment (one ``ctx.progress()`` per unit of overlapped local
+    work).  Static defer pays a full ``PROGRESS_POLL`` per idle call and
+    strands each batch's completions until the batch-end wait; with
+    ``flags.progress_adaptive`` the controller elides the empty polls and
+    the ``progress_max_age_ticks`` bound retires parked notifications
+    early — the latency/overhead trade the controller exists to buy.
 
 
 Every variant charges the same per-update "application work": the HPCC
@@ -74,9 +84,11 @@ from repro.runtime.runtime import SpmdResult, spmd_run
 from repro.sim.costmodel import CostAction
 from repro.sim.stats import (
     AggregationStats,
+    ProgressStats,
     aggregation_stats,
     observability_snapshots,
     observability_stats,
+    progress_stats,
 )
 
 #: the paper's six variants (Figures 5-7 grid)
@@ -89,8 +101,8 @@ PAPER_GUPS_VARIANTS = (
     "amo_future",
 )
 
-#: all variants, including the beyond-the-paper aggregation one
-GUPS_VARIANTS = PAPER_GUPS_VARIANTS + ("agg",)
+#: all variants, including the beyond-the-paper ones
+GUPS_VARIANTS = PAPER_GUPS_VARIANTS + ("agg", "prog_adaptive")
 
 _MASK64 = (1 << 64) - 1
 _POLY = 0x0000000000000007
@@ -183,6 +195,16 @@ class GupsResult:
     #: world-wide span/metrics rollup (:class:`repro.obs.ObsStats`),
     #: ``None`` unless the run had ``obs_spans`` on
     obs_stats: "object | None" = None
+
+    #: world-wide full-poll count (``PROGRESS_POLL`` charges)
+    progress_polls: int = 0
+    #: world-wide elided-poll count (``PROGRESS_POLL_SKIP`` charges; zero
+    #: unless the run had ``progress_adaptive`` on)
+    progress_poll_skips: int = 0
+    #: world-wide adaptive-progress rollup
+    #: (:class:`repro.sim.stats.ProgressStats`), ``None`` unless the run
+    #: had ``progress_adaptive`` on
+    prog_stats: "ProgressStats | None" = None
 
     @property
     def matches_oracle(self) -> bool:
@@ -400,6 +422,33 @@ def _run_agg(ctx, cfg, bases, per_rank, stream):
     barrier()  # nobody reads its table part before everyone drained
 
 
+def _run_prog_adaptive(ctx, cfg, bases, per_rank, stream):
+    """Defer-heavy drain-loop workout (see the module docstring).
+
+    Each batch issues promise-tracked atomic xors — under deferred
+    notification every completion parks on the progress queue — then
+    overlaps "application work" with one progress call per update (the
+    polling-driven overlap idiom UPC++ programs use while waiting on
+    remote events).  The result is exact: atomics never race within an
+    update, and the batch-end wait orders every batch.
+    """
+    ad = AtomicDomain({"bit_xor"}, "u64")
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        p = Promise()
+        for ran in chunk:
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            ad.bit_xor(dest, ran, operation_cx.as_promise(p))
+        p.finalize().wait()
+        # idle polling segment: after the batch completes there is nothing
+        # for progress to do, but a polling-driven application cannot know
+        # that — the static engine pays a full poll per call here
+        for _ in chunk:
+            ctx.charge(CostAction.FUNCTION_CALL)
+            ctx.progress()
+
+
 _VARIANT_BODIES = {
     "raw": _run_raw,
     "manual": _run_manual,
@@ -408,6 +457,7 @@ _VARIANT_BODIES = {
     "amo_promise": _run_amo_promise,
     "amo_future": _run_amo_future,
     "agg": _run_agg,
+    "prog_adaptive": _run_prog_adaptive,
 }
 
 
@@ -480,4 +530,9 @@ def run_gups(
         agg_stats=agg,
         obs_snapshots=obs_snaps,
         obs_stats=obs,
+        progress_polls=res.world.total_count(CostAction.PROGRESS_POLL),
+        progress_poll_skips=res.world.total_count(
+            CostAction.PROGRESS_POLL_SKIP
+        ),
+        prog_stats=progress_stats(res.world),
     )

@@ -386,3 +386,20 @@ def format_aggregation_report(title: str, stats) -> str:
             [f"flushes: {reason}", str(stats.flush_reasons[reason])]
         )
     return format_table(title, ["metric", "value"], rows)
+
+
+def format_progress_report(title: str, stats) -> str:
+    """Render a world-wide :class:`~repro.sim.stats.ProgressStats`
+    snapshot: full-poll vs. elided-poll counts, drain-cap pressure, and
+    the age-bound retirement tallies."""
+    rows = [
+        ["full polls", str(stats.full_polls)],
+        ["skipped polls", str(stats.skipped_polls)],
+        ["elision ratio", f"{stats.elision_ratio:.3f}"],
+        ["thunks dispatched", str(stats.dispatched)],
+        ["capped polls", str(stats.capped_polls)],
+        ["aged mini-drains", str(stats.aged_drains)],
+        ["aged dispatches", str(stats.aged_dispatched)],
+        ["control decisions", str(stats.decisions)],
+    ]
+    return format_table(title, ["metric", "value"], rows)

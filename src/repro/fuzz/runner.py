@@ -1,0 +1,227 @@
+"""Execution and differential comparison of fuzz programs.
+
+:func:`run_program` interprets a :class:`~repro.fuzz.programs.FuzzProgram`
+under one named mode and returns a :class:`FuzzOutcome`;
+:func:`check_program` runs all modes and returns human-readable mismatch
+descriptions (empty list = the program is confluent, as constructed).
+
+Modes::
+
+    eager     2021.3.6 eager   — notifications bypass the progress queue
+    defer     2021.3.6 defer   — every completion takes the queue
+    adaptive  defer + progress_adaptive with tight knobs (small batch cap,
+              short age bound, poll thinning) so capped drains, aged
+              mini-drains, and elided polls all actually fire
+
+The three runs must agree on final memory, per-op recorded values, and
+completion counts.  Virtual clocks legitimately differ across modes (that
+difference *is* the paper's subject) but must be bit-identical when the
+same (program, mode) pair is replayed — :func:`run_program` is a pure
+function of its arguments, which the replay test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import (
+    AtomicDomain,
+    barrier,
+    current_ctx,
+    new_array,
+    operation_cx,
+    rget,
+    rput,
+    rpc,
+    rpc_ff,
+    spmd_run,
+)
+from repro.core.promise import Promise
+from repro.memory.global_ptr import GlobalPtr
+from repro.runtime.config import FeatureFlags, Version, flags_for
+from repro.fuzz.programs import FuzzProgram
+
+_MASK64 = (1 << 64) - 1
+
+#: the differential mode set (name -> (version, flags))
+MODES = ("eager", "defer", "adaptive")
+
+
+def mode_flags(mode: str) -> tuple[Version, FeatureFlags]:
+    """The (version, flags) pair a named mode runs under."""
+    if mode == "eager":
+        v = Version.V2021_3_6_EAGER
+        return v, flags_for(v)
+    if mode == "defer":
+        v = Version.V2021_3_6_DEFER
+        return v, flags_for(v)
+    if mode == "adaptive":
+        v = Version.V2021_3_6_DEFER
+        return v, flags_for(v).replace(
+            progress_adaptive=True,
+            progress_min_batch=2,
+            progress_max_batch=8,
+            progress_max_poll_interval=16,
+            progress_max_age_ticks=2000.0,
+        )
+    raise ValueError(f"unknown fuzz mode {mode!r}; known: {MODES}")
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Everything a mode run must reproduce."""
+
+    #: final table words, per owner rank
+    tables: tuple[tuple[int, ...], ...]
+    #: per rank: (phase, op index, value) for every get/rpc, in wait order
+    values: tuple[tuple[tuple[int, int, int], ...], ...]
+    #: per rank: (futures waited, promises finalized)
+    completions: tuple[tuple[int, int], ...]
+    #: per rank final virtual clock (replay determinism only — modes may
+    #: legitimately differ here)
+    clock_ns: tuple[float, ...]
+
+
+def _pure_fn(x: int) -> int:
+    """The rpc payload: a pure splitmix64-style mix of the argument."""
+    z = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def _apply_xor(offset: int, ts, value: int) -> None:
+    """rpc_ff handler: commutative xor into the owner's table word."""
+    tctx = current_ctx()
+    seg = tctx.segment
+    old = seg.read_scalar(offset, ts)
+    seg.write_scalar(offset, ts, (int(old) ^ value) & _MASK64)
+
+
+def _fuzz_body(program: FuzzProgram):
+    ctx = current_ctx()
+    me = ctx.rank
+    ranks = program.ranks
+    arr = new_array("u64", program.words)
+    view = ctx.segment.view_array(arr.offset, arr.ts, program.words)
+    view[:] = 0
+    # lock-step allocation: offsets agree across ranks (cf. the GUPS body)
+    bases = [GlobalPtr(r, arr.offset, arr.ts) for r in range(ranks)]
+    ad = AtomicDomain({"bit_xor", "add"}, "u64")
+    barrier()
+
+    values: list[tuple[int, int, int]] = []
+    futures_waited = 0
+    promises_done = 0
+    for phase_i, phase in enumerate(program.phases):
+        pending: list[tuple[int, object, bool]] = []
+        prom = Promise()
+
+        def wait_pending():
+            nonlocal futures_waited
+            for serial, fut, record in pending:
+                v = fut.wait()
+                futures_waited += 1
+                if record:
+                    values.append((phase_i, serial, int(v) & _MASK64))
+            pending.clear()
+
+        for serial, op in enumerate(phase.ops[me]):
+            kind = op["kind"]
+            if kind == "put":
+                dest = bases[op["owner"]] + op["idx"]
+                if op["track"] == "promise":
+                    rput(op["value"], dest, operation_cx.as_promise(prom))
+                else:
+                    pending.append((serial, rput(op["value"], dest), False))
+            elif kind in ("amo_xor", "amo_add"):
+                dest = bases[op["owner"]] + op["idx"]
+                meth = ad.bit_xor if kind == "amo_xor" else ad.add
+                if op["track"] == "promise":
+                    meth(dest, op["value"], operation_cx.as_promise(prom))
+                else:
+                    pending.append((serial, meth(dest, op["value"]), False))
+            elif kind == "rpc_ff":
+                dest = bases[op["owner"]] + op["idx"]
+                rpc_ff(op["owner"], _apply_xor, dest.offset, dest.ts,
+                       op["value"])
+            elif kind == "get":
+                dest = bases[op["owner"]] + op["idx"]
+                pending.append((serial, rget(dest), True))
+            elif kind == "rpc":
+                fut = rpc(op["dst"], _pure_fn, op["value"])
+                pending.append((serial, fut, True))
+            elif kind == "wait_all":
+                wait_pending()
+            elif kind == "progress":
+                for _ in range(op["n"]):
+                    ctx.progress()
+            else:  # pragma: no cover - generator never emits other kinds
+                raise ValueError(f"unknown fuzz op kind {kind!r}")
+
+        # phase fence: settle local completions, deliver stray rpc_ff
+        # updates, and only then let anyone read the next phase's roles
+        wait_pending()
+        prom.finalize().wait()
+        promises_done += 1
+        barrier()
+        while ctx.progress():
+            pass
+        barrier()
+
+    return (
+        tuple(int(x) for x in view),
+        tuple(values),
+        (futures_waited, promises_done),
+        ctx.clock.now_ns,
+    )
+
+
+def run_program(program: FuzzProgram, mode: str) -> FuzzOutcome:
+    """Execute ``program`` under ``mode``; a pure function of both."""
+    version, flags = mode_flags(mode)
+    res = spmd_run(
+        lambda: _fuzz_body(program),
+        ranks=program.ranks,
+        version=version,
+        machine="generic",
+        conduit=program.conduit,
+        n_nodes=program.n_nodes,
+        seed=program.seed,
+        flags=flags,
+    )
+    return FuzzOutcome(
+        tables=tuple(v[0] for v in res.values),
+        values=tuple(v[1] for v in res.values),
+        completions=tuple(v[2] for v in res.values),
+        clock_ns=tuple(v[3] for v in res.values),
+    )
+
+
+def check_program(
+    program: FuzzProgram, modes: tuple[str, ...] = MODES
+) -> list[str]:
+    """Run ``program`` under every mode; describe any disagreement.
+
+    Returns an empty list when all modes agree on tables, values, and
+    completion counts (clocks are exempt — they are the measurement)."""
+    outcomes = {mode: run_program(program, mode) for mode in modes}
+    base_mode = modes[0]
+    base = outcomes[base_mode]
+    mismatches = []
+    for mode in modes[1:]:
+        other = outcomes[mode]
+        if other.tables != base.tables:
+            mismatches.append(
+                f"final memory differs: {base_mode} vs {mode}"
+            )
+        if other.values != base.values:
+            mismatches.append(
+                f"per-op values differ: {base_mode} vs {mode}"
+            )
+        if other.completions != base.completions:
+            mismatches.append(
+                f"completion counts differ: {base_mode} vs {mode} "
+                f"({base.completions} vs {other.completions})"
+            )
+    return mismatches

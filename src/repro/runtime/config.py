@@ -106,6 +106,32 @@ class FeatureFlags:
         homogeneous streams (GUPS updates) pay the handler id once per
         run.  Pure wire-footprint model change — handlers still run
         identically.  Off by default.
+    progress_adaptive:
+        EWMA-based control of the progress engine's drain loop (see
+        :mod:`repro.runtime.adaptive_progress`): each full poll observes
+        the deferred-queue depth and drain yield, sizes a per-poll drain
+        batch cap, and thins the cadence of provably-empty polls (charging
+        the cheap ``PROGRESS_POLL_SKIP`` instead of a full
+        ``PROGRESS_POLL``).  Off by default on every build: with the flag
+        off the engine is bit-identical to the static drain-until-quiescent
+        behaviour.
+    progress_min_batch / progress_max_batch:
+        Floor and ceiling of the controller's per-poll drain batch cap
+        (only consulted when ``progress_adaptive`` is on).
+    progress_min_poll_interval / progress_max_poll_interval:
+        Floor and ceiling of the poll-thinning interval: at most
+        ``interval - 1`` consecutive provably-empty progress calls are
+        elided before a full poll is forced.  An interval of 1 never
+        elides.
+    progress_max_age_ticks:
+        Notification-latency guarantee in simulated-clock ticks (ns),
+        analogous to ``agg_max_age_ticks``: no deferred completion waits
+        longer than this once enqueued — aged entries are dispatched past
+        the batch cap and opportunistically retired at the next engine
+        activity.
+    progress_ewma_alpha:
+        Blending factor of the progress controller's EWMA estimators
+        (0 < a <= 1).
     obs_spans:
         Operation-lifecycle observability (see :mod:`repro.obs`): every
         asynchronous operation records a span with phase timestamps
@@ -139,6 +165,13 @@ class FeatureFlags:
     agg_compression: bool = False
     obs_spans: bool = False
     obs_span_capacity: int = 65536
+    progress_adaptive: bool = False
+    progress_min_batch: int = 4
+    progress_max_batch: int = 256
+    progress_min_poll_interval: int = 1
+    progress_max_poll_interval: int = 64
+    progress_max_age_ticks: float = 32768.0
+    progress_ewma_alpha: float = 0.25
 
     def __post_init__(self):
         """Reject unusable aggregation knobs at construction.
@@ -192,6 +225,49 @@ class FeatureFlags:
         if self.obs_span_capacity < 1:
             raise UpcxxError(
                 f"obs_span_capacity must be >= 1, got {self.obs_span_capacity}"
+            )
+        if self.progress_min_batch < 1:
+            raise UpcxxError(
+                f"progress_min_batch must be >= 1, got {self.progress_min_batch}"
+            )
+        if self.progress_max_batch < 1:
+            raise UpcxxError(
+                f"progress_max_batch must be >= 1, got {self.progress_max_batch}"
+            )
+        if self.progress_min_poll_interval < 1:
+            raise UpcxxError(
+                "progress_min_poll_interval must be >= 1, got "
+                f"{self.progress_min_poll_interval}"
+            )
+        if self.progress_max_poll_interval < 1:
+            raise UpcxxError(
+                "progress_max_poll_interval must be >= 1, got "
+                f"{self.progress_max_poll_interval}"
+            )
+        if self.progress_adaptive:
+            # same floor/ceiling convention as the aggregation knobs: the
+            # range only binds when a controller actually operates on it
+            if self.progress_min_batch > self.progress_max_batch:
+                raise UpcxxError(
+                    "progress_min_batch must not exceed progress_max_batch "
+                    f"({self.progress_min_batch} > {self.progress_max_batch})"
+                )
+            if self.progress_min_poll_interval > self.progress_max_poll_interval:
+                raise UpcxxError(
+                    "progress_min_poll_interval must not exceed "
+                    "progress_max_poll_interval "
+                    f"({self.progress_min_poll_interval} > "
+                    f"{self.progress_max_poll_interval})"
+                )
+        if self.progress_max_age_ticks <= 0:
+            raise UpcxxError(
+                "progress_max_age_ticks must be > 0, got "
+                f"{self.progress_max_age_ticks}"
+            )
+        if not (0.0 < self.progress_ewma_alpha <= 1.0):
+            raise UpcxxError(
+                "progress_ewma_alpha must be in (0, 1], got "
+                f"{self.progress_ewma_alpha}"
             )
 
     def replace(self, **kw) -> "FeatureFlags":

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.allocator import SharedAllocator
     from repro.memory.segment import Segment
     from repro.obs import ObsState
+    from repro.runtime.adaptive_progress import AdaptiveProgressController
     from repro.runtime.runtime import World
     from repro.runtime.scheduler import CooperativeScheduler
 
@@ -78,6 +79,9 @@ class RankContext:
         #: per-rank observability state; wired by the runtime only when
         #: ``flags.obs_spans`` is set (None → zero overhead)
         self.obs: Optional["ObsState"] = None
+        #: adaptive progress controller; wired by the runtime only when
+        #: ``flags.progress_adaptive`` is set (None → the static drain loop)
+        self.progress_ctl: Optional["AdaptiveProgressController"] = None
         self.scheduler: Optional["CooperativeScheduler"] = None
         self._barrier_epoch = 0
 

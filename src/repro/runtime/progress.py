@@ -13,6 +13,17 @@ must push its completion notification here and pay the enqueue cost now and
 the dispatch cost later, inside some progress call.  Eager notification
 (Section III) is precisely the optimization of bypassing this queue when the
 transfer completed synchronously.
+
+With ``flags.progress_adaptive`` set, the drain loop is governed by an
+:class:`~repro.runtime.adaptive_progress.AdaptiveProgressController`
+(wired onto :attr:`RankContext.progress_ctl` by the world): each full poll
+drains at most the controller's batch cap, provably-empty polls are elided
+on the controller's cadence (charging ``PROGRESS_POLL_SKIP`` instead of a
+full ``PROGRESS_POLL``), and the ``progress_max_age_ticks`` bound
+guarantees no queued notification outlives its age budget — aged entries
+are dispatched past the cap, and enqueue-time activity opportunistically
+retires them.  With the flag off (the default) the engine is bit-identical
+to the static drain-until-quiescent behaviour.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.sim.costmodel import CostAction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.adaptive_progress import AdaptiveProgressController
     from repro.runtime.context import RankContext
 
 Thunk = Callable[[], None]
@@ -35,8 +47,9 @@ class ProgressEngine:
 
     def __init__(self, ctx: "RankContext"):
         self._ctx = ctx
-        self._deferred: deque[Thunk] = deque()
-        self._lpcs: deque[Thunk] = deque()
+        #: (enqueue timestamp ns, thunk) — FIFO, so heads are oldest
+        self._deferred: deque[tuple[float, Thunk]] = deque()
+        self._lpcs: deque[tuple[float, Thunk]] = deque()
         self._in_progress = False
         #: callables polled on every progress call (the conduit registers
         #: its AM-delivery poll here); each returns True if it did work.
@@ -46,13 +59,24 @@ class ProgressEngine:
 
     def enqueue_deferred(self, thunk: Thunk) -> None:
         """Queue a deferred completion notification (charges enqueue cost)."""
-        self._ctx.charge(CostAction.PROGRESS_QUEUE_ENQUEUE)
-        self._deferred.append(thunk)
+        ctx = self._ctx
+        ctl = ctx.progress_ctl
+        if ctl is not None and not self._in_progress:
+            # enqueueing is engine activity: retire notifications that the
+            # batch cap left behind past their age bound (the progress-queue
+            # analogue of the aggregator's flush-at-next-conduit-activity)
+            self._drain_aged(ctx, ctl)
+        ctx.charge(CostAction.PROGRESS_QUEUE_ENQUEUE)
+        self._deferred.append((ctx.clock.now_ns, thunk))
 
     def enqueue_lpc(self, thunk: Thunk) -> None:
         """Queue a local procedure call for the next progress call."""
-        self._ctx.charge(CostAction.LPC_ENQUEUE)
-        self._lpcs.append(thunk)
+        ctx = self._ctx
+        ctl = ctx.progress_ctl
+        if ctl is not None and not self._in_progress:
+            self._drain_aged(ctx, ctl)
+        ctx.charge(CostAction.LPC_ENQUEUE)
+        self._lpcs.append((ctx.clock.now_ns, thunk))
 
     def register_poller(self, poll: Callable[[], bool]) -> None:
         """Register a poll hook (e.g. conduit AM delivery)."""
@@ -66,6 +90,18 @@ class ProgressEngine:
 
     def pending_deferred(self) -> int:
         return len(self._deferred)
+
+    def oldest_pending_age_ns(self) -> float | None:
+        """Age of the oldest queued thunk (None when both queues are empty).
+
+        Both queues are FIFO with monotone enqueue stamps, so the heads are
+        the oldest entries.  Exposed so the latency-guarantee invariant
+        ("no entry outlives ``progress_max_age_ticks`` across engine
+        activity") is externally checkable.
+        """
+        now = self._ctx.clock.now_ns
+        ages = [now - q[0][0] for q in (self._deferred, self._lpcs) if q]
+        return max(ages) if ages else None
 
     @property
     def in_progress(self) -> bool:
@@ -81,7 +117,10 @@ class ProgressEngine:
         Polls the conduit (delivering any arrived AMs), then drains the
         deferred-notification and LPC queues.  Notifications enqueued *by*
         callbacks during the drain are also executed (the loop runs until
-        quiescent), matching UPC++'s drain-until-empty behavior.
+        quiescent), matching UPC++'s drain-until-empty behavior.  Under
+        ``progress_adaptive`` the drain is capped per poll (aged entries
+        excepted) and provably-empty polls may be elided — see
+        :mod:`repro.runtime.adaptive_progress`.
 
         Returns True if any work was performed.  Re-entrant calls (progress
         from inside a callback) return False immediately.
@@ -89,6 +128,9 @@ class ProgressEngine:
         if self._in_progress:
             return False
         ctx = self._ctx
+        ctl = ctx.progress_ctl
+        if ctl is not None:
+            return self._progress_adaptive(ctx, ctl)
         ctx.charge(CostAction.PROGRESS_POLL)
         self._in_progress = True
         did_work = False
@@ -107,13 +149,13 @@ class ProgressEngine:
                     did_work = True
             while self._deferred or self._lpcs:
                 while self._deferred:
-                    thunk = self._deferred.popleft()
+                    _, thunk = self._deferred.popleft()
                     ctx.charge(CostAction.PROGRESS_DISPATCH)
                     thunk()
                     did_work = True
                     dispatched += 1
                 while self._lpcs:
-                    lpc = self._lpcs.popleft()
+                    _, lpc = self._lpcs.popleft()
                     ctx.charge(CostAction.PROGRESS_DISPATCH)
                     lpc()
                     did_work = True
@@ -132,3 +174,120 @@ class ProgressEngine:
         if obs is not None:
             obs.on_progress_drained(dispatched)
         return did_work
+
+    # -- adaptive drain ----------------------------------------------------
+
+    def _can_elide(self, ctx: "RankContext") -> bool:
+        """Whether a poll right now provably has nothing to do: no queued
+        thunks, no arrived AMs, no parked aggregation.  (Custom pollers
+        beyond the conduit's must not rely on elided polls; the runtime
+        registers only the conduit poll, whose work is exactly
+        ``conduit.has_incoming``.)"""
+        if self._deferred or self._lpcs:
+            return False
+        conduit = ctx.conduit
+        if conduit is not None and conduit.has_incoming(ctx.rank):
+            return False
+        agg = ctx.am_agg
+        return agg is None or not agg.has_pending()
+
+    def _progress_adaptive(
+        self, ctx: "RankContext", ctl: "AdaptiveProgressController"
+    ) -> bool:
+        if ctl.may_skip() and self._can_elide(ctx):
+            ctx.charge(CostAction.PROGRESS_POLL_SKIP)
+            ctl.on_skip()
+            return False
+        ctx.charge(CostAction.PROGRESS_POLL)
+        ctx.charge(CostAction.PROGRESS_ADAPT)
+        self._in_progress = True
+        did_work = False
+        obs = ctx.obs
+        if obs is not None:
+            obs.on_progress_enter(len(self._deferred), ctx.clock.now_ns)
+        cap = ctl.on_poll(len(self._deferred))
+        max_age = ctl.max_age_ns
+        dispatched = 0
+        try:
+            if ctx.flush_aggregation(reason="progress_entry"):
+                did_work = True
+            for poll in self._pollers:
+                if poll():
+                    did_work = True
+            while self._deferred or self._lpcs:
+                if dispatched >= cap:
+                    # cap reached: only heads past their age budget may
+                    # still go; check BOTH queues (a fresh deferred head
+                    # must not mask an aged LPC behind it)
+                    now = ctx.clock.now_ns
+                    if self._deferred and now - self._deferred[0][0] >= max_age:
+                        queue = self._deferred
+                    elif self._lpcs and now - self._lpcs[0][0] >= max_age:
+                        queue = self._lpcs
+                    else:
+                        # leave the remainder for the next poll
+                        break
+                else:
+                    queue = self._deferred if self._deferred else self._lpcs
+                _, thunk = queue.popleft()
+                ctx.charge(CostAction.PROGRESS_DISPATCH)
+                thunk()
+                did_work = True
+                dispatched += 1
+                if not self._deferred and not self._lpcs:
+                    # callbacks may have triggered AM sends back to ourselves
+                    for poll in self._pollers:
+                        if poll():
+                            did_work = True
+            if ctx.flush_aggregation(reason="progress_exit"):
+                did_work = True
+        finally:
+            self._in_progress = False
+        ctl.on_drained(
+            ctx.clock.now_ns,
+            dispatched,
+            len(self._deferred) + len(self._lpcs),
+            did_work,
+        )
+        if obs is not None:
+            obs.on_progress_drained(dispatched)
+        return did_work
+
+    def _drain_aged(
+        self, ctx: "RankContext", ctl: "AdaptiveProgressController"
+    ) -> None:
+        """Dispatch queue heads that outlived ``progress_max_age_ticks``.
+
+        Called from enqueue-time engine activity (never re-entrantly): a
+        rank that keeps issuing without polling would otherwise strand its
+        earlier deferred notifications past the latency guarantee.  New
+        enqueues during the drain carry fresh stamps, so the loop
+        terminates as soon as a head is inside its budget.
+        """
+        max_age = ctl.max_age_ns
+        now = ctx.clock.now_ns
+        if not (
+            (self._deferred and now - self._deferred[0][0] >= max_age)
+            or (self._lpcs and now - self._lpcs[0][0] >= max_age)
+        ):
+            return
+        # the mini-drain is a (partial) pass of the engine: model it as one
+        ctx.charge(CostAction.PROGRESS_POLL)
+        self._in_progress = True
+        dispatched = 0
+        try:
+            while True:
+                now = ctx.clock.now_ns
+                if self._deferred and now - self._deferred[0][0] >= max_age:
+                    queue = self._deferred
+                elif self._lpcs and now - self._lpcs[0][0] >= max_age:
+                    queue = self._lpcs
+                else:
+                    break
+                _, thunk = queue.popleft()
+                ctx.charge(CostAction.PROGRESS_DISPATCH)
+                thunk()
+                dispatched += 1
+        finally:
+            self._in_progress = False
+        ctl.on_aged_drain(dispatched)

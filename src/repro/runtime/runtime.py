@@ -36,6 +36,7 @@ from repro.gasnet.team import Team
 from repro.memory.allocator import SharedAllocator
 from repro.memory.segment import Segment
 from repro.obs import ObsState
+from repro.runtime.adaptive_progress import AdaptiveProgressController
 from repro.runtime.config import RuntimeConfig, Version
 from repro.runtime.context import RankContext, set_current_ctx
 from repro.runtime.scheduler import CooperativeScheduler
@@ -85,6 +86,8 @@ class World:
                 ctx.am_agg = AmAggregator(ctx)
             if ctx.flags.obs_spans:
                 ctx.obs = ObsState(ctx)
+            if ctx.flags.progress_adaptive:
+                ctx.progress_ctl = AdaptiveProgressController(ctx.flags)
             ctx.progress_engine.register_poller(
                 lambda c=ctx: self.conduit.poll(c)
             )

@@ -51,6 +51,14 @@ class CostAction(enum.Enum):
     PROGRESS_QUEUE_ENQUEUE = "progress_queue_enqueue"
     PROGRESS_DISPATCH = "progress_dispatch"
     PROGRESS_POLL = "progress_poll"
+    #: one observation of the adaptive progress controller: EWMA updates of
+    #: the deferred-queue depth / drain yield plus the cap recompute (paid
+    #: per full poll when ``progress_adaptive`` is on)
+    PROGRESS_ADAPT = "progress_adapt"
+    #: an elided empty poll: the adaptive engine proved no work was possible
+    #: and charged this instead of a full ``PROGRESS_POLL`` (the cadence
+    #: saving the controller exists to buy)
+    PROGRESS_POLL_SKIP = "progress_poll_skip"
 
     # -- future / promise machinery --------------------------------------
     FUTURE_READY_CHECK = "future_ready_check"

@@ -116,6 +116,8 @@ INTEL = MachineProfile(
         progress_queue_enqueue=7.0,
         progress_poll=6.0,
         progress_dispatch=14.0,
+        progress_adapt=2.0,
+        progress_poll_skip=1.0,
         future_ready_check=1.0,
         future_callback_schedule=4.0,
         when_all_node_build=150.0,
@@ -166,6 +168,8 @@ IBM = MachineProfile(
         progress_queue_enqueue=1.5,
         progress_poll=1.5,
         progress_dispatch=2.0,
+        progress_adapt=2.8,
+        progress_poll_skip=0.4,
         future_ready_check=1.4,
         future_callback_schedule=5.0,
         when_all_node_build=3800.0,
@@ -216,6 +220,8 @@ MARVELL = MachineProfile(
         progress_queue_enqueue=18.0,
         progress_poll=20.0,
         progress_dispatch=30.0,
+        progress_adapt=3.6,
+        progress_poll_skip=2.5,
         future_ready_check=1.8,
         future_callback_schedule=7.0,
         when_all_node_build=200.0,
@@ -263,6 +269,8 @@ GENERIC = MachineProfile(
         progress_queue_enqueue=5.0,
         progress_poll=5.0,
         progress_dispatch=10.0,
+        progress_adapt=2.0,
+        progress_poll_skip=1.0,
         future_ready_check=1.0,
         future_callback_schedule=5.0,
         when_all_node_build=25.0,

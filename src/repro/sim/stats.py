@@ -233,3 +233,70 @@ def aggregation_snapshots(world: "World"):
         world,
         lambda ctx: ctx.am_agg.stats() if ctx.am_agg is not None else None,
     )
+
+
+@dataclass(frozen=True)
+class ProgressStats:
+    """World-wide adaptive-progress counters (summed over ranks).
+
+    All zeros when ``FeatureFlags.progress_adaptive`` is off — use
+    :func:`progress_stats` (which returns ``None`` in that case, like
+    :func:`observability_stats`) to distinguish off from idle.
+    """
+
+    ranks: int
+    #: full polls observed (each charged PROGRESS_POLL + PROGRESS_ADAPT)
+    full_polls: int
+    #: provably-empty polls elided (each charged PROGRESS_POLL_SKIP)
+    skipped_polls: int
+    #: thunks dispatched under the controller (drain loop + aged retires)
+    dispatched: int
+    #: polls that hit the drain cap with non-aged work left over
+    capped_polls: int
+    #: enqueue-time mini-drains triggered by the age bound
+    aged_drains: int
+    #: thunks retired because they outlived ``progress_max_age_ticks``
+    aged_dispatched: int
+    #: recorded control decisions across all ranks
+    decisions: int
+
+    @property
+    def elision_ratio(self) -> float:
+        """Fraction of progress calls elided as cheap skips."""
+        calls = self.full_polls + self.skipped_polls
+        if not calls:
+            return 0.0
+        return self.skipped_polls / calls
+
+
+def progress_snapshots(world: "World"):
+    """Per-rank
+    :class:`~repro.runtime.adaptive_progress.ProgressControllerSnapshot`
+    list (empty when ``FeatureFlags.progress_adaptive`` is off), including
+    each rank's control-decision trajectory."""
+    return gather_rank_snapshots(
+        world,
+        lambda ctx: (
+            ctx.progress_ctl.snapshot(ctx.rank)
+            if ctx.progress_ctl is not None
+            else None
+        ),
+    )
+
+
+def progress_stats(world: "World"):
+    """World-wide :class:`ProgressStats` rollup (``None`` when
+    ``FeatureFlags.progress_adaptive`` is off)."""
+    snaps = progress_snapshots(world)
+    if not snaps:
+        return None
+    return ProgressStats(
+        ranks=len(snaps),
+        full_polls=sum(s.full_polls for s in snaps),
+        skipped_polls=sum(s.skipped_polls for s in snaps),
+        dispatched=sum(s.dispatched for s in snaps),
+        capped_polls=sum(s.capped_polls for s in snaps),
+        aged_drains=sum(s.aged_drains for s in snaps),
+        aged_dispatched=sum(s.aged_dispatched for s in snaps),
+        decisions=sum(len(s.trajectory) for s in snaps),
+    )

@@ -122,6 +122,10 @@ class Tracer:
         if self.dropped:
             header += f"  [dropped={self.dropped} at capacity={self.capacity}]"
         lines = [header]
+        if not self.events:
+            # an empty trace renders as an explicit marker, not a bare
+            # header that reads like a formatting accident
+            lines.append("  (no events)")
         for e in self.events[:limit]:
             lines.append(
                 f"{e.t_ns:9.1f}  {e.rank:4d}  {e.action.value}"

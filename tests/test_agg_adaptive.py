@@ -37,40 +37,13 @@ from repro.runtime.runtime import build_world, spmd_run
 from repro.sim.costmodel import CostAction
 from repro.sim.stats import aggregation_snapshots, aggregation_stats
 
-VD, VE = Version.V2021_3_6_DEFER, Version.V2021_3_6_EAGER
-
-
-def adaptive_flags(version=VE, **kw):
-    defaults = dict(
-        am_aggregation=True,
-        agg_adaptive=True,
-        agg_max_entries=8,
-        agg_min_entries=2,
-        agg_max_bytes=4096,
-        agg_min_bytes=64,
-        agg_max_age_ticks=1000.0,
-    )
-    defaults.update(kw)
-    return flags_for(version).replace(**defaults)
-
-
-def adaptive_world(ranks=4, n_nodes=2, conduit="ibv", **kw):
-    """Ranks 0/1 on node 0, ranks 2/3 on node 1, adaptive batching on."""
-    return build_world(
-        RuntimeConfig(conduit=conduit, flags=adaptive_flags(**kw)),
-        ranks=ranks,
-        n_nodes=n_nodes,
-    )
-
-
-def send(w, src, dst, sink=None, nbytes=8, label="am"):
-    handler = (lambda t: None) if sink is None else (
-        lambda t, s=sink: s.append(dst)
-    )
-    w.conduit.send_am(
-        w.contexts[src], dst, handler, nbytes=nbytes, label=label,
-        aggregatable=True,
-    )
+from tests.conftest import (
+    VD,
+    VE,
+    adaptive_flags,
+    adaptive_world,
+    send_agg_am as send,
+)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Flag-matrix equivalence: small GUPS across every feature-flag combo.
+
+One small ``agg``-variant GUPS run (4 ranks / 2 nodes / udp) is executed
+for every combination of ``{eager, defer} x 2^5`` feature flags:
+``am_aggregation``, ``agg_adaptive``, ``agg_compression``, ``obs_spans``,
+``progress_adaptive``.  Expectations:
+
+===================  =====================================================
+axis                 expectation
+===================  =====================================================
+(all combos)         checksum equals the HPCC oracle — no flag may change
+                     program semantics
+obs_spans            pure observation: toggling it leaves ``solve_ns``
+                     and ``am_injects`` bit-identical
+agg_adaptive,        inert without ``am_aggregation``: ``solve_ns``,
+agg_compression      ``am_injects`` and checksum bit-identical to the
+                     same combo with the dead flags cleared
+am_aggregation       strictly fewer ``AM_INJECT`` charges than the same
+                     combo without it (bundling), and bundle headers
+                     appear; checksum unchanged
+progress_adaptive    checksum unchanged vs. the same combo without it;
+                     total ``PROGRESS_POLL`` charge does not exceed the
+                     static engine's (skips replace full polls; the few
+                     aged mini-drains are charged as polls and must be
+                     amortized by the elisions)
+===================  =====================================================
+
+Timing (``solve_ns``) is *expected* to differ across the notification
+and aggregation axes — that is the paper's whole subject — so no
+cross-axis timing equality is asserted beyond the rows above.
+"""
+
+import itertools
+
+import pytest
+
+from repro.apps.gups import GupsConfig, run_gups
+from repro.runtime.config import flags_for
+from tests.conftest import VD, VE
+
+AXES = (
+    "am_aggregation",
+    "agg_adaptive",
+    "agg_compression",
+    "obs_spans",
+    "progress_adaptive",
+)
+
+CFG = GupsConfig(variant="agg", table_log2=8, updates_per_rank=16, batch=8)
+
+
+def combo_key(version, on):
+    return (version, frozenset(on))
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """All 64 runs, keyed by (version, frozenset(enabled flag names))."""
+    results = {}
+    for version in (VE, VD):
+        for bits in itertools.product((False, True), repeat=len(AXES)):
+            on = {name for name, bit in zip(AXES, bits) if bit}
+            flags = flags_for(version).replace(
+                **{name: True for name in on}
+            )
+            results[combo_key(version, on)] = run_gups(
+                CFG,
+                ranks=4,
+                n_nodes=2,
+                conduit="udp",
+                version=version,
+                machine="generic",
+                flags=flags,
+            )
+    return results
+
+
+def combos(*, without=(), with_=()):
+    """All (version, on-set) keys containing ``with_`` and none of
+    ``without``."""
+    out = []
+    for version in (VE, VD):
+        for bits in itertools.product((False, True), repeat=len(AXES)):
+            on = {name for name, bit in zip(AXES, bits) if bit}
+            if set(with_) <= on and not (set(without) & on):
+                out.append((version, on))
+    return out
+
+
+class TestMatrix:
+    def test_every_combo_matches_the_oracle(self, matrix):
+        bad = [
+            key for key, res in matrix.items() if not res.matches_oracle
+        ]
+        assert not bad, f"checksum mismatches: {bad}"
+
+    def test_obs_spans_is_pure_observation(self, matrix):
+        for version, on in combos(without=("obs_spans",)):
+            base = matrix[combo_key(version, on)]
+            obs = matrix[combo_key(version, on | {"obs_spans"})]
+            assert obs.solve_ns == base.solve_ns, (version, on)
+            assert obs.am_injects == base.am_injects, (version, on)
+            assert obs.checksum == base.checksum, (version, on)
+
+    def test_agg_knob_flags_inert_without_aggregation(self, matrix):
+        for version, on in combos(without=("am_aggregation",)):
+            dead = on & {"agg_adaptive", "agg_compression"}
+            if not dead:
+                continue
+            stripped = matrix[combo_key(version, on - dead)]
+            res = matrix[combo_key(version, on)]
+            assert res.solve_ns == stripped.solve_ns, (version, on)
+            assert res.am_injects == stripped.am_injects, (version, on)
+            assert res.checksum == stripped.checksum, (version, on)
+
+    def test_aggregation_bundles_reduce_injections(self, matrix):
+        for version, on in combos(without=("am_aggregation",)):
+            base = matrix[combo_key(version, on)]
+            agg = matrix[combo_key(version, on | {"am_aggregation"})]
+            assert agg.am_injects < base.am_injects, (version, on)
+            assert agg.am_bundles > 0, (version, on)
+            assert base.am_bundles == 0, (version, on)
+            assert agg.checksum == base.checksum, (version, on)
+
+    def test_adaptive_progress_preserves_results_and_poll_budget(
+        self, matrix
+    ):
+        for version, on in combos(without=("progress_adaptive",)):
+            static = matrix[combo_key(version, on)]
+            adaptive = matrix[
+                combo_key(version, on | {"progress_adaptive"})
+            ]
+            assert adaptive.checksum == static.checksum, (version, on)
+            assert adaptive.progress_polls <= static.progress_polls, (
+                version,
+                on,
+            )
+            assert static.progress_poll_skips == 0, (version, on)

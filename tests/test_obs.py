@@ -34,7 +34,6 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.rma import rget
-from repro.runtime.config import Version, flags_for
 from repro.runtime.runtime import spmd_run
 from repro.sim.costmodel import CostAction
 from repro.sim.stats import (
@@ -43,12 +42,7 @@ from repro.sim.stats import (
     observability_stats,
 )
 
-VD = Version.V2021_3_6_DEFER
-VE = Version.V2021_3_6_EAGER
-
-
-def obs_flags(version):
-    return flags_for(version).replace(obs_spans=True)
+from tests.conftest import VD, VE, obs_flags
 
 
 # ---------------------------------------------------------------------------
@@ -327,8 +321,14 @@ class TestExport:
             [{"name": "x"}, {"ph": "Z", "name": 3, "pid": "a", "tid": 0}]
         )
         assert errs
-        assert validate_trace_events({"traceEvents": []})
         assert validate_trace_events({"no": "events"})
+
+    def test_validator_accepts_empty_run_document(self):
+        """Zero ops -> zero events; the document still loads in both
+        viewers, so it must validate clean (regression: empty used to be
+        reported as an error)."""
+        assert validate_trace_events({"traceEvents": []}) == []
+        assert validate_trace_events([]) == []
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,20 @@ Two further variants go beyond the paper:
     ``flags.progress_adaptive`` the controller elides the empty polls and
     the ``progress_max_age_ticks`` bound retires parked notifications
     early — the latency/overhead trade the controller exists to buy.
+``wait_hints``
+    the ``prog_adaptive`` workload reshaped so the *awaited* completion
+    parks at the **back** of the deferred queue behind a batch of
+    unrelated backlog: most updates are promise-tracked (their
+    notifications form the backlog; promise waits never stamp
+    ``t_waited``, so they stay out of the waited-gap metric), then a few
+    future-tracked probe updates are each waited immediately.  A capped
+    FIFO drain must chew through the whole backlog before the probe's
+    notification dispatches — ``ceil(backlog/cap)`` polls of added gap —
+    while a hinted wait's targeted scan dispatches exactly the awaited
+    completion on the first poll.  The batch then retires its backlog
+    through ``finalize().wait()`` (the set-targeting case: every backlog
+    thunk shares the promise's cell) and runs the same idle polling
+    segment as ``prog_adaptive``, so poll budgets compare directly.
 
 
 Every variant charges the same per-update "application work": the HPCC
@@ -102,7 +116,7 @@ PAPER_GUPS_VARIANTS = (
 )
 
 #: all variants, including the beyond-the-paper ones
-GUPS_VARIANTS = PAPER_GUPS_VARIANTS + ("agg", "prog_adaptive")
+GUPS_VARIANTS = PAPER_GUPS_VARIANTS + ("agg", "prog_adaptive", "wait_hints")
 
 _MASK64 = (1 << 64) - 1
 _POLY = 0x0000000000000007
@@ -449,6 +463,40 @@ def _run_prog_adaptive(ctx, cfg, bases, per_rank, stream):
             ctx.progress()
 
 
+def _run_wait_hints(ctx, cfg, bases, per_rank, stream):
+    """Backlog-then-probe workout (see the module docstring).
+
+    Per batch: the leading updates are promise-tracked — under deferred
+    notification their fulfilment thunks park on the deferred queue as
+    unrelated backlog — then the trailing few are future-tracked probes,
+    each waited immediately so its notification sits *behind* the whole
+    backlog in FIFO order.  The backlog is retired afterwards through the
+    promise wait, and the idle polling segment matches ``prog_adaptive``.
+    Exactness as for ``prog_adaptive``: atomics never race within an
+    update and every batch ends fully waited.
+    """
+    ad = AtomicDomain({"bit_xor"}, "u64")
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        probes = max(1, len(chunk) // 8)
+        backlog, probed = chunk[:-probes], chunk[-probes:]
+        p = Promise()
+        for ran in backlog:
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            ad.bit_xor(dest, ran, operation_cx.as_promise(p))
+        for ran in probed:
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            ad.bit_xor(dest, ran).wait()
+        p.finalize().wait()
+        # idle polling segment, as in prog_adaptive: the application
+        # overlaps local work with polls that (post-wait) find nothing
+        for _ in chunk:
+            ctx.charge(CostAction.FUNCTION_CALL)
+            ctx.progress()
+
+
 _VARIANT_BODIES = {
     "raw": _run_raw,
     "manual": _run_manual,
@@ -458,6 +506,7 @@ _VARIANT_BODIES = {
     "amo_future": _run_amo_future,
     "agg": _run_agg,
     "prog_adaptive": _run_prog_adaptive,
+    "wait_hints": _run_wait_hints,
 }
 
 

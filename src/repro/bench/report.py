@@ -373,6 +373,7 @@ def format_aggregation_report(title: str, stats) -> str:
         ["largest bundle", str(stats.largest_bundle)],
         ["mean parked (us)", f"{stats.mean_parked_ns / 1e3:.2f}"],
         ["age-bound flushes", str(stats.age_flushes)],
+        ["wait-hint flushes", str(stats.wait_flushes)],
         ["adaptive updates", str(stats.adaptive_updates)],
         ["threshold decisions", str(stats.threshold_decisions)],
         ["framing bytes saved", str(stats.compression_saved_bytes)],
@@ -400,6 +401,8 @@ def format_progress_report(title: str, stats) -> str:
         ["capped polls", str(stats.capped_polls)],
         ["aged mini-drains", str(stats.aged_drains)],
         ["aged dispatches", str(stats.aged_dispatched)],
+        ["hinted scans", str(stats.hinted_scans)],
+        ["hinted dispatches", str(stats.hinted_dispatched)],
         ["control decisions", str(stats.decisions)],
     ]
     return format_table(title, ["metric", "value"], rows)

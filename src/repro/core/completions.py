@@ -224,6 +224,10 @@ class CxDispatcher:
         self.value_event = value_event
         self.nvalues = nvalues
         self._futures: list[Future] = []
+        # recorded by mark_injected(): where the op's payload went, so
+        # result() can hand a hinted wait its flush destination
+        self._target_rank: Optional[int] = None
+        self._target_local = True
         ctx.charge(CostAction.COMPLETION_PROCESS)
         flags = ctx.flags
         for req in comps.requests:
@@ -257,6 +261,8 @@ class CxDispatcher:
         observability off).  ``local`` is the locality the op has already
         branched on — never re-derived here, so the memoized reachability
         counters are untouched."""
+        self._target_rank = target_rank
+        self._target_local = local
         span = self._span
         if span is not None:
             span.target = target_rank
@@ -326,7 +332,7 @@ class CxDispatcher:
                                 note, ctx.clock.now_ns
                             )
 
-                    ctx.progress_engine.enqueue_deferred(ready_it)
+                    ctx.progress_engine.enqueue_deferred(ready_it, cell=cell)
                     self._futures.append(Future(cell))
             elif req.kind == _PROMISE:
                 if self._eager_allowed(req):
@@ -346,7 +352,9 @@ class CxDispatcher:
                                 note, ctx.clock.now_ns
                             )
 
-                    ctx.progress_engine.enqueue_deferred(fulfill_it)
+                    ctx.progress_engine.enqueue_deferred(
+                        fulfill_it, cell=req.promise.cell
+                    )
             elif req.kind == _LPC:
                 if span is not None:
 
@@ -400,6 +408,9 @@ class CxDispatcher:
         if self._span is not None:
             for f in self._futures:
                 f._span = self._span  # lets wait() stamp t_waited
+        if self._target_rank is not None and not self._target_local:
+            for f in self._futures:
+                f._hint_dst = self._target_rank  # aggregator flush hint
         if len(self._futures) == 1:
             return self._futures[0]
         return tuple(self._futures)

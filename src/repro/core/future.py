@@ -22,6 +22,7 @@ from typing import Any, Callable
 from repro.core.cell import PromiseCell, alloc_cell, ready_cell, ready_unit_cell
 from repro.errors import FutureError
 from repro.runtime.context import current_ctx
+from repro.runtime.wait_hints import WaitTarget
 from repro.sim.costmodel import CostAction
 
 
@@ -34,13 +35,17 @@ class Future:
     of the C++ API.
     """
 
-    __slots__ = ("_cell", "_span")
+    __slots__ = ("_cell", "_span", "_hint_dst")
 
     def __init__(self, cell: PromiseCell):
         self._cell = cell
         #: operation span this future notifies (observability only; set by
         #: CxDispatcher.result() so wait() can stamp the waited phase)
         self._span = None
+        #: destination rank of the operation behind this future when it
+        #: was injected off-node (set by CxDispatcher.result(); None for
+        #: local ops) — a hinted wait passes it to the AM aggregator
+        self._hint_dst = None
 
     # -- queries ----------------------------------------------------------
 
@@ -83,8 +88,15 @@ class Future:
         callback is guaranteed to run inside a later progress call).
         """
         ctx = current_ctx()
-        ctx.charge(CostAction.FUTURE_CALLBACK_SCHEDULE)
         cell = self._cell
+        if cell.ready and ctx.flags.eager_notification:
+            # §III-B fast path: on eager builds a ready future's callback
+            # runs inline right here — nothing is scheduled and no cell is
+            # allocated, so no scheduling cost is charged either.  Deferred
+            # builds keep the legacy charge below even when ready, matching
+            # the release's unconditional scheduling bookkeeping.
+            return _capture(ctx, fn, cell.result_tuple())
+        ctx.charge(CostAction.FUTURE_CALLBACK_SCHEDULE)
         if cell.ready:
             return _capture(ctx, fn, cell.result_tuple())
         # arity is unknown until fn runs; _deliver fixes it before fulfilling
@@ -110,12 +122,46 @@ class Future:
         ctx.charge(CostAction.FUTURE_READY_CHECK)
         if cell.ready:
             return self._finish_wait(ctx)
+        if ctx.wait_hints:
+            return self._wait_hinted(ctx, cell)
         while True:
             ctx.progress()
             ctx.charge(CostAction.FUTURE_READY_CHECK)
             if cell.ready:
                 return self._finish_wait(ctx)
             ctx.block_until(lambda: cell.ready or ctx.has_incoming())
+
+    def _wait_hinted(self, ctx, cell):
+        """The ``wait_hints`` spin: same loop as ``wait`` but with this
+        future's cell/destination published as the active wait target, so
+        each poll's targeted drain dispatches the awaited notifications
+        ahead of the batch cap and the aggregator flushes the awaited
+        destination first (see :mod:`repro.runtime.wait_hints`)."""
+        span = self._span
+        if span is not None and span.t_hinted is None:
+            span.t_hinted = ctx.clock.now_ns
+        obs = ctx.obs
+        if obs is not None:
+            obs.on_wait_hint(self._hint_dst)
+        t0 = ctx.clock.now_ns
+        ctx.push_wait_target(
+            WaitTarget(cell=cell, dst_rank=self._hint_dst, op="future")
+        )
+        try:
+            while True:
+                ctx.progress()
+                ctx.charge(CostAction.FUTURE_READY_CHECK)
+                if cell.ready:
+                    if obs is not None:
+                        obs.on_wait_stall(ctx.clock.now_ns - t0)
+                    return self._finish_wait(ctx)
+                # about to block: publish *every* parked bundle, not just
+                # the targeted ones — a peer may be blocked on an AM the
+                # targeted flush deliberately left batching
+                ctx.flush_aggregation(reason="wait_block")
+                ctx.block_until(lambda: cell.ready or ctx.has_incoming())
+        finally:
+            ctx.pop_wait_target()
 
     def _finish_wait(self, ctx):
         """Common tail of ``wait``: stamp the waited phase and unwrap."""

@@ -12,8 +12,12 @@ Modes::
     adaptive  defer + progress_adaptive with tight knobs (small batch cap,
               short age bound, poll thinning) so capped drains, aged
               mini-drains, and elided polls all actually fire
+    hinted    adaptive + wait_hints — every future/promise wait publishes
+              its target, so targeted drains (mid-queue removal ahead of
+              the cap) and wait-triggered aggregation flushes fire on the
+              same programs
 
-The three runs must agree on final memory, per-op recorded values, and
+The runs must agree on final memory, per-op recorded values, and
 completion counts.  Virtual clocks legitimately differ across modes (that
 difference *is* the paper's subject) but must be bit-identical when the
 same (program, mode) pair is replayed — :func:`run_program` is a pure
@@ -44,7 +48,7 @@ from repro.fuzz.programs import FuzzProgram
 _MASK64 = (1 << 64) - 1
 
 #: the differential mode set (name -> (version, flags))
-MODES = ("eager", "defer", "adaptive")
+MODES = ("eager", "defer", "adaptive", "hinted")
 
 
 def mode_flags(mode: str) -> tuple[Version, FeatureFlags]:
@@ -64,6 +68,12 @@ def mode_flags(mode: str) -> tuple[Version, FeatureFlags]:
             progress_max_poll_interval=16,
             progress_max_age_ticks=2000.0,
         )
+    if mode == "hinted":
+        # the adaptive knobs plus wait targeting: the tight batch cap
+        # means the fuzz programs' wait_all fences genuinely race the cap,
+        # so targeted mid-queue removal and wait flushes both exercise
+        v, flags = mode_flags("adaptive")
+        return v, flags.replace(wait_hints=True, wait_flush_fill_frac=0.5)
     raise ValueError(f"unknown fuzz mode {mode!r}; known: {MODES}")
 
 

@@ -72,6 +72,26 @@ class ThresholdDecision:
     max_bytes: int
 
 
+def fill_fraction(
+    entries: int, nbytes: int, max_entries: int, max_bytes: int
+) -> float:
+    """How close a buffer is to flushing: the larger of its entry and
+    byte fill as a fraction of the effective thresholds.
+
+    Used by the cross-destination ride-along (``wait_hints``): when one
+    buffer's flush already wakes the conduit, other buffers past
+    ``wait_flush_fill_frac`` of *their* thresholds ship in the same
+    activity — they were about to pay an injection anyway, so sharing
+    the wake-up costs nothing and saves their remaining parking time.
+    """
+    frac = entries / max_entries if max_entries > 0 else 0.0
+    if max_bytes > 0:
+        byte_frac = nbytes / max_bytes
+        if byte_frac > frac:
+            frac = byte_frac
+    return frac
+
+
 class _DestEstimator:
     """EWMA state for one destination (survives buffer flushes)."""
 

@@ -40,7 +40,14 @@ Flush policies (any of which closes a bundle):
    it is entered (so ``progress()``, ``barrier()`` and ``future.wait()``
    all publish buffered work before blocking) and again after its drain
    loop (so AMs buffered *by handlers during the drain* cannot be stranded
-   while the rank blocks).
+   while the rank blocks);
+6. **wait target** — with ``flags.wait_hints`` on, a hinted wait narrows
+   the progress-entry/exit flush to :meth:`AmAggregator.flush_for_wait`:
+   the awaited destination ships immediately, other buffers past
+   ``wait_flush_fill_frac`` of their thresholds ride along in the same
+   conduit activity (also applied when an age flush fires — the
+   cross-destination scheduling follow-on), and the rest keep batching;
+   the wait loop flushes everything before actually blocking.
 
 Bundle framing and delta-compression
 ------------------------------------
@@ -81,7 +88,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.gasnet.adaptive import AdaptiveController, ThresholdDecision
+from repro.gasnet.adaptive import (
+    AdaptiveController,
+    ThresholdDecision,
+    fill_fraction,
+)
 from repro.obs.metrics import DEPTH_EDGES as _BUNDLE_DEPTH_EDGES
 from repro.sim.costmodel import CostAction
 
@@ -183,6 +194,8 @@ class AggregatorSnapshot:
     parked_ns_total: float
     #: buffers force-flushed by the age bound
     age_flushes: int
+    #: targeted flushes for an active wait (0 unless ``wait_hints``)
+    wait_flushes: int
     #: controller observations (0 unless ``agg_adaptive``)
     adaptive_updates: int
     #: recorded threshold decisions, oldest first (empty unless adaptive)
@@ -219,9 +232,10 @@ class AmAggregator:
     __slots__ = (
         "_ctx", "max_entries", "max_bytes", "_buffers",
         "controller", "max_age_ns", "compress",
+        "wait_fill_frac",
         "appended", "bundles_flushed", "entries_flushed", "largest_bundle",
         "bundle_size_hist", "flush_reasons", "parked_ns_total",
-        "age_flushes", "compression_saved_bytes",
+        "age_flushes", "wait_flushes", "compression_saved_bytes",
     )
 
     def __init__(self, ctx: "RankContext"):
@@ -239,6 +253,11 @@ class AmAggregator:
             flags.agg_max_age_ticks if flags.agg_adaptive else None
         )
         self.compress: bool = flags.agg_compression
+        #: near-full ride-along threshold of targeted flushes, or None
+        #: when ``wait_hints`` is off (no ride-along, no targeted flush)
+        self.wait_fill_frac: float | None = (
+            flags.wait_flush_fill_frac if flags.wait_hints else None
+        )
         # -- stats ----------------------------------------------------------
         self.appended = 0
         self.bundles_flushed = 0
@@ -248,6 +267,7 @@ class AmAggregator:
         self.flush_reasons: Counter[str] = Counter()
         self.parked_ns_total = 0.0
         self.age_flushes = 0
+        self.wait_flushes = 0
         self.compression_saved_bytes = 0
 
     # -- queries -----------------------------------------------------------
@@ -374,6 +394,60 @@ class AmAggregator:
             if oldest is not None and now - oldest >= max_age:
                 self.age_flushes += 1
                 shipped += self.flush(dst, reason="age")
+        if shipped and self.wait_fill_frac is not None:
+            # cross-destination scheduling (wait_hints): the age flush
+            # already woke the conduit — ship other near-full buffers in
+            # the same activity to share the injection wake-up
+            shipped += self._flush_near_full()
+        return shipped
+
+    def flush_for_wait(self, dst_rank: int | None) -> int:
+        """Targeted flush while a hinted wait is active (``wait_hints``).
+
+        Ships, in one conduit activity: the awaited destination's buffer
+        (the bundle the caller is blocked on must not sit out its age
+        bound), every other buffer past the ``wait_flush_fill_frac``
+        ride-along threshold, and any buffer past its age bound.  Sparse
+        buffers keep batching — the narrowing relative to the unhinted
+        flush-all is the point; liveness is preserved because the wait
+        loop flushes everything before actually blocking.
+        """
+        self.wait_flushes += 1
+        shipped = 0
+        if dst_rank is not None:
+            buf = self._buffers.get(dst_rank)
+            if buf:
+                shipped += self.flush(dst_rank, reason="wait_hint")
+        shipped += self._flush_near_full()
+        max_age = self.max_age_ns
+        if max_age is not None:
+            now = self._ctx.clock.now_ns
+            for dst in sorted(self._buffers):
+                oldest = self._buffers[dst].oldest_ns
+                if oldest is not None and now - oldest >= max_age:
+                    self.age_flushes += 1
+                    shipped += self.flush(dst, reason="age")
+        return shipped
+
+    def _flush_near_full(self) -> int:
+        """Ship buffers whose fill reached ``wait_flush_fill_frac`` of
+        their effective thresholds (rank order, deterministic)."""
+        frac = self.wait_fill_frac
+        if frac is None:
+            return 0
+        shipped = 0
+        for dst in sorted(self._buffers):
+            buf = self._buffers[dst]
+            if not buf:
+                continue
+            max_entries, max_bytes = self.thresholds_for(dst)
+            if (
+                fill_fraction(
+                    len(buf), buf.payload_bytes, max_entries, max_bytes
+                )
+                >= frac
+            ):
+                shipped += self.flush(dst, reason="near_full")
         return shipped
 
     # -- observability -----------------------------------------------------
@@ -396,6 +470,7 @@ class AmAggregator:
             flush_reasons=dict(self.flush_reasons),
             parked_ns_total=self.parked_ns_total,
             age_flushes=self.age_flushes,
+            wait_flushes=self.wait_flushes,
             adaptive_updates=(
                 self.controller.updates if self.controller is not None else 0
             ),

@@ -21,7 +21,11 @@ CxDispatcher` was constructed);
     transfers;
 ``t_waited``
     a ``Future.wait()`` observed the operation complete (absent when the
-    result is consumed through callbacks only).
+    result is consumed through callbacks only);
+``t_hinted``
+    a hinted wait (``FeatureFlags.wait_hints``) published this operation
+    as its wait target (absent unless the flag is on and the future was
+    actually blocked on).
 
 Spans carry op kind, peer rank, payload size, locality (``pshm`` vs
 ``offnode``) and completion mode (``eager`` vs ``defer``), so the world
@@ -68,6 +72,7 @@ class OpSpan:
     t_transfer: Optional[float] = None
     t_dispatched: Optional[float] = None
     t_waited: Optional[float] = None
+    t_hinted: Optional[float] = None
 
     @property
     def notification_gap_ns(self) -> Optional[float]:
@@ -81,7 +86,7 @@ class OpSpan:
         """Latest stamped phase (spans render as [t_init, end_ns])."""
         end = self.t_init
         for t in (self.t_injected, self.t_transfer, self.t_dispatched,
-                  self.t_waited):
+                  self.t_waited, self.t_hinted):
             if t is not None and t > end:
                 end = t
         return end
@@ -182,10 +187,16 @@ class ObsStats:
     spans_by_op: dict[str, int]
     #: keyed by (mode, locality)
     gaps: dict[tuple[str, str], GapStats]
+    #: gap distributions restricted to spans some caller blocked on
+    #: (``t_waited`` stamped) — the population wait hints exist to serve
+    waited_gaps: dict[tuple[str, str], GapStats]
     metrics: MetricsSnapshot
 
     def gap(self, mode: str, locality: str) -> Optional[GapStats]:
         return self.gaps.get((mode, locality))
+
+    def waited_gap(self, mode: str, locality: str) -> Optional[GapStats]:
+        return self.waited_gaps.get((mode, locality))
 
 
 def merge_obs_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsStats:
@@ -195,6 +206,7 @@ def merge_obs_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsStats:
     total_dropped = 0
     by_op: dict[str, int] = {}
     gap_hists: dict[tuple[str, str], HistogramMetric] = {}
+    waited_hists: dict[tuple[str, str], HistogramMetric] = {}
     for snap in snaps:
         total_spans += len(snap.spans) + snap.spans_dropped
         total_dropped += snap.spans_dropped
@@ -211,6 +223,14 @@ def merge_obs_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsStats:
                     LATENCY_EDGES_NS,
                 )
             h.record(gap)
+            if span.t_waited is not None:
+                w = waited_hists.get(key)
+                if w is None:
+                    w = waited_hists[key] = HistogramMetric(
+                        f"waited_gap_ns.{span.mode}.{span.locality}",
+                        LATENCY_EDGES_NS,
+                    )
+                w.record(gap)
     return ObsStats(
         ranks=len(snaps),
         total_spans=total_spans,
@@ -219,6 +239,10 @@ def merge_obs_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsStats:
         gaps={
             key: GapStats(mode=key[0], locality=key[1], hist=h.snapshot())
             for key, h in sorted(gap_hists.items())
+        },
+        waited_gaps={
+            key: GapStats(mode=key[0], locality=key[1], hist=h.snapshot())
+            for key, h in sorted(waited_hists.items())
         },
         metrics=merge_metrics(s.metrics for s in snaps),
     )
@@ -290,6 +314,21 @@ class ObsState:
         self.metrics.histogram(
             "progress.drain_batch", DEPTH_EDGES
         ).record(batch)
+
+    # -- wait-hint signals ----------------------------------------------
+
+    def on_wait_hint(self, dst_rank: Optional[int]) -> None:
+        """One hinted wait entered its spin (``wait_hints`` on and the
+        future was not already ready)."""
+        self.metrics.counter("wait.hints").inc()
+        if dst_rank is not None:
+            self.metrics.counter("wait.hints_offnode").inc()
+
+    def on_wait_stall(self, stall_ns: float) -> None:
+        """Virtual time one hinted wait spent blocked (entry to ready)."""
+        self.metrics.histogram(
+            "wait.stall_ns", LATENCY_EDGES_NS
+        ).record(stall_ns)
 
     # -- snapshotting --------------------------------------------------
 

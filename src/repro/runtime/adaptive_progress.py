@@ -83,6 +83,10 @@ class ProgressControllerSnapshot:
     aged_drains: int
     #: thunks retired because they outlived ``progress_max_age_ticks``
     aged_dispatched: int
+    #: targeted-drain scans that found awaited work (``wait_hints``)
+    hinted_scans: int
+    #: thunks dispatched ahead of the cap for an active wait target
+    hinted_dispatched: int
     #: EWMA of deferred-queue depth at full-poll entry (None before data)
     depth_ewma: float | None
     #: EWMA of the did-work fraction of full polls (None before data)
@@ -112,7 +116,8 @@ class AdaptiveProgressController:
         "depth_ewma", "yield_ewma", "_drain_cap", "_poll_interval",
         "_skips_since_full",
         "full_polls", "skipped_polls", "dispatched", "capped_polls",
-        "aged_drains", "aged_dispatched", "trajectory",
+        "aged_drains", "aged_dispatched", "hinted_scans",
+        "hinted_dispatched", "trajectory",
     )
 
     def __init__(self, flags: "FeatureFlags"):
@@ -135,6 +140,8 @@ class AdaptiveProgressController:
         self.capped_polls = 0
         self.aged_drains = 0
         self.aged_dispatched = 0
+        self.hinted_scans = 0
+        self.hinted_dispatched = 0
         self.trajectory: deque[ProgressDecision] = deque(maxlen=TRAJECTORY_CAP)
 
     # -- current outputs ---------------------------------------------------
@@ -207,6 +214,13 @@ class AdaptiveProgressController:
         self.aged_dispatched += dispatched
         self.dispatched += dispatched
 
+    def on_hinted(self, dispatched: int) -> None:
+        """Record one targeted drain that dispatched awaited thunks ahead
+        of the batch cap (``wait_hints``)."""
+        self.hinted_scans += 1
+        self.hinted_dispatched += dispatched
+        self.dispatched += dispatched
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self, rank: int) -> ProgressControllerSnapshot:
@@ -218,6 +232,8 @@ class AdaptiveProgressController:
             capped_polls=self.capped_polls,
             aged_drains=self.aged_drains,
             aged_dispatched=self.aged_dispatched,
+            hinted_scans=self.hinted_scans,
+            hinted_dispatched=self.hinted_dispatched,
             depth_ewma=self.depth_ewma,
             yield_ewma=self.yield_ewma,
             drain_cap=self._drain_cap,

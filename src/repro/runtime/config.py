@@ -132,6 +132,24 @@ class FeatureFlags:
     progress_ewma_alpha:
         Blending factor of the progress controller's EWMA estimators
         (0 < a <= 1).
+    wait_hints:
+        Wait-aware completion targeting (see
+        :mod:`repro.runtime.wait_hints`): a blocking wait publishes the
+        awaited cell/destination on the context, the progress engine
+        dispatches matching queued notifications ahead of the adaptive
+        batch cap (charging ``PROGRESS_HINT_SCAN`` per targeted scan),
+        and the AM aggregator immediately flushes the awaited
+        destination's buffer plus near-full ride-alongs instead of
+        waiting for the age bound.  Off by default on every build: with
+        the flag off no target is ever published and the runtime is
+        bit-identical to the unhinted behaviour.
+    wait_flush_fill_frac:
+        Near-full ride-along threshold of the targeted flush (0 < f <=
+        1): while a hinted wait is active, a destination buffer whose
+        entry or byte fill reaches this fraction of its effective flush
+        threshold is flushed in the same conduit activity as the awaited
+        destination, sharing the injection wake-up (only consulted when
+        ``wait_hints`` is on).
     obs_spans:
         Operation-lifecycle observability (see :mod:`repro.obs`): every
         asynchronous operation records a span with phase timestamps
@@ -172,6 +190,8 @@ class FeatureFlags:
     progress_max_poll_interval: int = 64
     progress_max_age_ticks: float = 32768.0
     progress_ewma_alpha: float = 0.25
+    wait_hints: bool = False
+    wait_flush_fill_frac: float = 0.5
 
     def __post_init__(self):
         """Reject unusable aggregation knobs at construction.
@@ -268,6 +288,11 @@ class FeatureFlags:
             raise UpcxxError(
                 "progress_ewma_alpha must be in (0, 1], got "
                 f"{self.progress_ewma_alpha}"
+            )
+        if not (0.0 < self.wait_flush_fill_frac <= 1.0):
+            raise UpcxxError(
+                "wait_flush_fill_frac must be in (0, 1], got "
+                f"{self.wait_flush_fill_frac}"
             )
 
     def replace(self, **kw) -> "FeatureFlags":

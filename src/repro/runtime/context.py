@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.adaptive_progress import AdaptiveProgressController
     from repro.runtime.runtime import World
     from repro.runtime.scheduler import CooperativeScheduler
+    from repro.runtime.wait_hints import WaitTarget
 
 
 class RankContext:
@@ -83,6 +84,13 @@ class RankContext:
         #: ``flags.progress_adaptive`` is set (None → the static drain loop)
         self.progress_ctl: Optional["AdaptiveProgressController"] = None
         self.scheduler: Optional["CooperativeScheduler"] = None
+        #: precomputed gate for the wait-target machinery: with the flag
+        #: off no target is ever pushed, so ``active_wait_target`` stays
+        #: None and every consumer's behaviour is bit-identical
+        self.wait_hints: bool = self.flags.wait_hints
+        #: LIFO of published wait targets (waits nest: a callback run
+        #: inside one wait's progress may itself wait)
+        self._wait_targets: list["WaitTarget"] = []
         self._barrier_epoch = 0
 
     # -- identity -----------------------------------------------------------
@@ -140,6 +148,26 @@ class RankContext:
     def barrier(self) -> None:
         """Block until all ranks reach the barrier; synchronize clocks."""
         self.world.barrier(self)
+
+    # -- wait targets -------------------------------------------------------
+
+    def push_wait_target(self, target: "WaitTarget") -> None:
+        """Publish what the current (innermost) blocking wait needs.
+
+        Only called on the ``wait_hints`` paths — with the flag off the
+        stack stays empty and :attr:`active_wait_target` is ``None``.
+        """
+        self._wait_targets.append(target)
+
+    def pop_wait_target(self) -> None:
+        self._wait_targets.pop()
+
+    @property
+    def active_wait_target(self) -> Optional["WaitTarget"]:
+        """The innermost published wait target (None when nobody is in a
+        hinted wait — the common case, one list check)."""
+        targets = self._wait_targets
+        return targets[-1] if targets else None
 
     # -- locality ----------------------------------------------------------------
 

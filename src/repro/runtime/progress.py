@@ -24,6 +24,19 @@ guarantees no queued notification outlives its age budget — aged entries
 are dispatched past the cap, and enqueue-time activity opportunistically
 retires them.  With the flag off (the default) the engine is bit-identical
 to the static drain-until-quiescent behaviour.
+
+With ``flags.wait_hints`` set, a blocking wait additionally publishes a
+:class:`~repro.runtime.wait_hints.WaitTarget` on the context, and each
+poll starts with a *targeted drain*: one ``PROGRESS_HINT_SCAN``-charged
+scan removes every queued thunk that resolves the awaited cell — wherever
+it sits in the queue — and dispatches it ahead of the batch cap.  The
+capped FIFO drain then proceeds unchanged over the remainder, so the
+hint only reorders dispatch within the wait; nothing is dropped or run
+twice, and queue-age accounting stays valid because removals never
+reorder the survivors (FIFO stamps stay monotone).  While a targeted
+wait is active the entry/exit aggregation flushes narrow to the awaited
+destination (plus near-full ride-alongs and aged buffers) — see
+:meth:`repro.gasnet.aggregator.AmAggregator.flush_for_wait`.
 """
 
 from __future__ import annotations
@@ -47,9 +60,11 @@ class ProgressEngine:
 
     def __init__(self, ctx: "RankContext"):
         self._ctx = ctx
-        #: (enqueue timestamp ns, thunk) — FIFO, so heads are oldest
-        self._deferred: deque[tuple[float, Thunk]] = deque()
-        self._lpcs: deque[tuple[float, Thunk]] = deque()
+        #: (enqueue timestamp ns, thunk, cell-or-None) — FIFO, so heads
+        #: are oldest; the cell is the promise cell the thunk resolves
+        #: (when the enqueuer knows it), matched by targeted drains
+        self._deferred: deque[tuple[float, Thunk, object]] = deque()
+        self._lpcs: deque[tuple[float, Thunk, object]] = deque()
         self._in_progress = False
         #: callables polled on every progress call (the conduit registers
         #: its AM-delivery poll here); each returns True if it did work.
@@ -57,8 +72,14 @@ class ProgressEngine:
 
     # -- enqueue ----------------------------------------------------------
 
-    def enqueue_deferred(self, thunk: Thunk) -> None:
-        """Queue a deferred completion notification (charges enqueue cost)."""
+    def enqueue_deferred(self, thunk: Thunk, cell: object = None) -> None:
+        """Queue a deferred completion notification (charges enqueue cost).
+
+        ``cell`` optionally names the promise cell ``thunk`` resolves, so
+        a targeted drain (``wait_hints``) can find the entries an active
+        wait is blocked on; ``None`` (the default) makes the entry
+        invisible to targeting — it simply waits its FIFO turn.
+        """
         ctx = self._ctx
         ctl = ctx.progress_ctl
         if ctl is not None and not self._in_progress:
@@ -67,16 +88,16 @@ class ProgressEngine:
             # analogue of the aggregator's flush-at-next-conduit-activity)
             self._drain_aged(ctx, ctl)
         ctx.charge(CostAction.PROGRESS_QUEUE_ENQUEUE)
-        self._deferred.append((ctx.clock.now_ns, thunk))
+        self._deferred.append((ctx.clock.now_ns, thunk, cell))
 
-    def enqueue_lpc(self, thunk: Thunk) -> None:
+    def enqueue_lpc(self, thunk: Thunk, cell: object = None) -> None:
         """Queue a local procedure call for the next progress call."""
         ctx = self._ctx
         ctl = ctx.progress_ctl
         if ctl is not None and not self._in_progress:
             self._drain_aged(ctx, ctl)
         ctx.charge(CostAction.LPC_ENQUEUE)
-        self._lpcs.append((ctx.clock.now_ns, thunk))
+        self._lpcs.append((ctx.clock.now_ns, thunk, cell))
 
     def register_poller(self, poll: Callable[[], bool]) -> None:
         """Register a poll hook (e.g. conduit AM delivery)."""
@@ -137,25 +158,34 @@ class ProgressEngine:
         obs = ctx.obs
         if obs is not None:
             obs.on_progress_enter(len(self._deferred), ctx.clock.now_ns)
+        target = ctx.active_wait_target
         dispatched = 0
         try:
             # publish destination-batched AMs before doing anything else:
             # progress entry is a flush point (covers barrier()/wait() too,
-            # which drive their waits through this method)
-            if ctx.flush_aggregation(reason="progress_entry"):
+            # which drive their waits through this method); a targeted wait
+            # narrows the flush to the awaited destination + ride-alongs
+            if self._flush_for_progress(ctx, target, "progress_entry"):
                 did_work = True
             for poll in self._pollers:
                 if poll():
                     did_work = True
+            if target is not None and target.cell is not None:
+                # the awaited entries jump the FIFO; the static drain below
+                # retires everything else in this same poll regardless
+                n = self._drain_targeted(ctx, target.cell)
+                if n:
+                    did_work = True
+                    dispatched += n
             while self._deferred or self._lpcs:
                 while self._deferred:
-                    _, thunk = self._deferred.popleft()
+                    thunk = self._deferred.popleft()[1]
                     ctx.charge(CostAction.PROGRESS_DISPATCH)
                     thunk()
                     did_work = True
                     dispatched += 1
                 while self._lpcs:
-                    _, lpc = self._lpcs.popleft()
+                    lpc = self._lpcs.popleft()[1]
                     ctx.charge(CostAction.PROGRESS_DISPATCH)
                     lpc()
                     did_work = True
@@ -167,7 +197,7 @@ class ProgressEngine:
             # handlers run during the drain may have buffered new
             # aggregatable AMs; flush before returning so nothing is
             # stranded while this rank blocks (e.g. inside a barrier)
-            if ctx.flush_aggregation(reason="progress_exit"):
+            if self._flush_for_progress(ctx, target, "progress_exit"):
                 did_work = True
         finally:
             self._in_progress = False
@@ -205,15 +235,26 @@ class ProgressEngine:
         obs = ctx.obs
         if obs is not None:
             obs.on_progress_enter(len(self._deferred), ctx.clock.now_ns)
+        target = ctx.active_wait_target
         cap = ctl.on_poll(len(self._deferred))
         max_age = ctl.max_age_ns
         dispatched = 0
+        hinted = 0
         try:
-            if ctx.flush_aggregation(reason="progress_entry"):
+            if self._flush_for_progress(ctx, target, "progress_entry"):
                 did_work = True
             for poll in self._pollers:
                 if poll():
                     did_work = True
+            if target is not None and target.cell is not None:
+                # dispatch what the caller is blocked on ahead of (and not
+                # counted against) the batch cap — the whole point of the
+                # hint: the awaited completion must not wait ceil(depth/cap)
+                # polls for its FIFO turn
+                hinted = self._drain_targeted(ctx, target.cell)
+                if hinted:
+                    did_work = True
+                    ctl.on_hinted(hinted)
             while self._deferred or self._lpcs:
                 if dispatched >= cap:
                     # cap reached: only heads past their age budget may
@@ -229,7 +270,7 @@ class ProgressEngine:
                         break
                 else:
                     queue = self._deferred if self._deferred else self._lpcs
-                _, thunk = queue.popleft()
+                thunk = queue.popleft()[1]
                 ctx.charge(CostAction.PROGRESS_DISPATCH)
                 thunk()
                 did_work = True
@@ -239,7 +280,7 @@ class ProgressEngine:
                     for poll in self._pollers:
                         if poll():
                             did_work = True
-            if ctx.flush_aggregation(reason="progress_exit"):
+            if self._flush_for_progress(ctx, target, "progress_exit"):
                 did_work = True
         finally:
             self._in_progress = False
@@ -250,7 +291,7 @@ class ProgressEngine:
             did_work,
         )
         if obs is not None:
-            obs.on_progress_drained(dispatched)
+            obs.on_progress_drained(dispatched + hinted)
         return did_work
 
     def _drain_aged(
@@ -284,10 +325,62 @@ class ProgressEngine:
                     queue = self._lpcs
                 else:
                     break
-                _, thunk = queue.popleft()
+                thunk = queue.popleft()[1]
                 ctx.charge(CostAction.PROGRESS_DISPATCH)
                 thunk()
                 dispatched += 1
         finally:
             self._in_progress = False
         ctl.on_aged_drain(dispatched)
+
+    # -- targeted drain (wait hints) ---------------------------------------
+
+    def _drain_targeted(self, ctx: "RankContext", cell: object) -> int:
+        """Dispatch every queued thunk that resolves ``cell``, wherever it
+        sits in either queue.
+
+        One ``PROGRESS_HINT_SCAN`` models the scan; each match is charged
+        the normal ``PROGRESS_DISPATCH``.  Matches are removed *before*
+        any of them runs — their callbacks may enqueue new entries (e.g.
+        ``then`` chains), which must land behind the surviving FIFO, not
+        be swept up mid-rebuild.  Removal preserves the survivors' order,
+        so both queues stay FIFO with monotone stamps and the age
+        accounting (``oldest_pending_age_ns``) remains valid.  Only
+        called between ``_in_progress = True``/``False`` of a poll.
+        """
+        ctx.charge(CostAction.PROGRESS_HINT_SCAN)
+        matched: list[Thunk] = []
+        for name in ("_deferred", "_lpcs"):
+            queue = getattr(self, name)
+            if not queue:
+                continue
+            if not any(entry[2] is cell for entry in queue):
+                continue
+            kept = deque(entry for entry in queue if entry[2] is not cell)
+            matched.extend(
+                entry[1] for entry in queue if entry[2] is cell
+            )
+            setattr(self, name, kept)
+        for thunk in matched:
+            ctx.charge(CostAction.PROGRESS_DISPATCH)
+            thunk()
+        return len(matched)
+
+    def _flush_for_progress(self, ctx: "RankContext", target, reason: str):
+        """The poll's aggregation flush, narrowed by an active wait target.
+
+        Without a target (or with a non-targeted one — a barrier is
+        blocked on everything) this is exactly the pre-existing
+        ``flush_aggregation``: every buffer ships.  With a targeted wait
+        active, only the awaited destination, near-full ride-alongs and
+        aged buffers ship — sparse buffers keep batching while the
+        caller spins, and the wait loop itself flushes everything before
+        actually blocking (see ``Future._wait_hinted``), so nothing can
+        be stranded.
+        """
+        if target is None or not target.targeted:
+            return ctx.flush_aggregation(reason=reason)
+        agg = ctx.am_agg
+        if agg is not None and agg.has_pending():
+            return agg.flush_for_wait(target.dst_rank)
+        return 0

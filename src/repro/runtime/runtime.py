@@ -151,6 +151,29 @@ class World:
                 obs.close_notification(span, ctx.clock.now_ns)
                 span.t_waited = ctx.clock.now_ns
             return
+        if ctx.wait_hints:
+            # a barrier is blocked on *everything*, so its target carries
+            # neither cell nor destination: the engine's drain-everything /
+            # flush-all behaviour already is the targeted behaviour, and
+            # publishing the (non-targeting) target keeps the hint
+            # lifecycle uniform across every blocking construct
+            from repro.runtime.wait_hints import WaitTarget
+
+            if span is not None and span.t_hinted is None:
+                span.t_hinted = ctx.clock.now_ns
+            ctx.push_wait_target(WaitTarget(op="barrier"))
+            try:
+                self._barrier_spin(ctx, epoch)
+            finally:
+                ctx.pop_wait_target()
+        else:
+            self._barrier_spin(ctx, epoch)
+        ctx.clock.advance_to(self._barrier_release_ns)
+        if span is not None:
+            obs.close_notification(span, ctx.clock.now_ns)
+            span.t_waited = ctx.clock.now_ns
+
+    def _barrier_spin(self, ctx: RankContext, epoch: int) -> None:
         while self._barrier_epoch == epoch:
             ctx.progress()
             if self._barrier_epoch != epoch:
@@ -158,10 +181,6 @@ class World:
             ctx.block_until(
                 lambda: self._barrier_epoch != epoch or ctx.has_incoming()
             )
-        ctx.clock.advance_to(self._barrier_release_ns)
-        if span is not None:
-            obs.close_notification(span, ctx.clock.now_ns)
-            span.t_waited = ctx.clock.now_ns
 
     # -- measurement helpers ------------------------------------------------------
 

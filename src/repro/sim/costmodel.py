@@ -59,6 +59,10 @@ class CostAction(enum.Enum):
     #: and charged this instead of a full ``PROGRESS_POLL`` (the cadence
     #: saving the controller exists to buy)
     PROGRESS_POLL_SKIP = "progress_poll_skip"
+    #: one targeted scan of the deferred/LPC queues for thunks resolving
+    #: the cell an active wait is blocked on (paid per poll while a
+    #: ``wait_hints`` target with a cell is published)
+    PROGRESS_HINT_SCAN = "progress_hint_scan"
 
     # -- future / promise machinery --------------------------------------
     FUTURE_READY_CHECK = "future_ready_check"

@@ -118,6 +118,7 @@ INTEL = MachineProfile(
         progress_dispatch=14.0,
         progress_adapt=2.0,
         progress_poll_skip=1.0,
+        progress_hint_scan=3.0,
         future_ready_check=1.0,
         future_callback_schedule=4.0,
         when_all_node_build=150.0,
@@ -170,6 +171,7 @@ IBM = MachineProfile(
         progress_dispatch=2.0,
         progress_adapt=2.8,
         progress_poll_skip=0.4,
+        progress_hint_scan=4.0,
         future_ready_check=1.4,
         future_callback_schedule=5.0,
         when_all_node_build=3800.0,
@@ -222,6 +224,7 @@ MARVELL = MachineProfile(
         progress_dispatch=30.0,
         progress_adapt=3.6,
         progress_poll_skip=2.5,
+        progress_hint_scan=5.5,
         future_ready_check=1.8,
         future_callback_schedule=7.0,
         when_all_node_build=200.0,
@@ -271,6 +274,7 @@ GENERIC = MachineProfile(
         progress_dispatch=10.0,
         progress_adapt=2.0,
         progress_poll_skip=1.0,
+        progress_hint_scan=3.0,
         future_ready_check=1.0,
         future_callback_schedule=5.0,
         when_all_node_build=25.0,

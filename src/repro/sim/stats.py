@@ -160,6 +160,8 @@ class AggregationStats:
     parked_ns_total: float = 0.0
     #: buffers force-flushed by the adaptive age bound
     age_flushes: int = 0
+    #: targeted wait flushes across all ranks (0 unless ``wait_hints``)
+    wait_flushes: int = 0
     #: adaptive-controller observations across all ranks
     adaptive_updates: int = 0
     #: recorded controller threshold decisions across all ranks
@@ -192,7 +194,7 @@ def aggregation_stats(world: "World") -> AggregationStats:
     counters of a world (all zeros when aggregation is off)."""
     appended = flushed = entries = largest = 0
     parked = 0.0
-    age = updates = decisions = saved = 0
+    age = waits = updates = decisions = saved = 0
     hist: dict[int, int] = {}
     reasons: dict[str, int] = {}
     for s in aggregation_snapshots(world):
@@ -202,6 +204,7 @@ def aggregation_stats(world: "World") -> AggregationStats:
         largest = max(largest, s.largest_bundle)
         parked += s.parked_ns_total
         age += s.age_flushes
+        waits += s.wait_flushes
         updates += s.adaptive_updates
         decisions += len(s.threshold_trajectory)
         saved += s.compression_saved_bytes
@@ -216,6 +219,7 @@ def aggregation_stats(world: "World") -> AggregationStats:
         largest_bundle=largest,
         parked_ns_total=parked,
         age_flushes=age,
+        wait_flushes=waits,
         adaptive_updates=updates,
         threshold_decisions=decisions,
         compression_saved_bytes=saved,
@@ -259,6 +263,11 @@ class ProgressStats:
     aged_dispatched: int
     #: recorded control decisions across all ranks
     decisions: int
+    #: targeted-drain scans that found awaited work (0 unless
+    #: ``wait_hints``)
+    hinted_scans: int = 0
+    #: thunks dispatched ahead of the cap for an active wait target
+    hinted_dispatched: int = 0
 
     @property
     def elision_ratio(self) -> float:
@@ -299,4 +308,6 @@ def progress_stats(world: "World"):
         aged_drains=sum(s.aged_drains for s in snaps),
         aged_dispatched=sum(s.aged_dispatched for s in snaps),
         decisions=sum(len(s.trajectory) for s in snaps),
+        hinted_scans=sum(s.hinted_scans for s in snaps),
+        hinted_dispatched=sum(s.hinted_dispatched for s in snaps),
     )

@@ -1,4 +1,4 @@
-"""Differential fuzzing: eager vs. defer vs. adaptive-progress equivalence.
+"""Differential fuzzing: eager / defer / adaptive / hinted equivalence.
 
 The tentpole guarantee of the fuzz harness (``repro.fuzz``): for any
 generated program, all notification configurations agree on
@@ -103,6 +103,16 @@ class TestModeFlags:
         assert not adaptive.eager_notification
         assert adaptive.progress_adaptive
 
+    def test_hinted_mode_is_adaptive_plus_wait_hints(self):
+        _, adaptive = mode_flags("adaptive")
+        _, hinted = mode_flags("hinted")
+        assert not adaptive.wait_hints
+        assert hinted.wait_hints
+        assert hinted.progress_adaptive
+        assert hinted.replace(
+            wait_hints=False, wait_flush_fill_frac=adaptive.wait_flush_fill_frac
+        ) == adaptive
+
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError, match="unknown fuzz mode"):
             mode_flags("bogus")
@@ -110,8 +120,8 @@ class TestModeFlags:
 
 class TestDifferentialSweep:
     def test_sweep_200_programs_all_modes_agree(self):
-        """The headline: 200 generated programs, eager vs. defer vs.
-        adaptive-progress, identical outcomes on every one."""
+        """The headline: 200 generated programs; eager, defer,
+        adaptive-progress, and hinted agree on every one."""
         failures = []
         for index in range(SWEEP_PROGRAMS):
             prog = generate_program(SWEEP_SEED * 1_000_003 + index)

@@ -1,9 +1,9 @@
 """Flag-matrix equivalence: small GUPS across every feature-flag combo.
 
 One small ``agg``-variant GUPS run (4 ranks / 2 nodes / udp) is executed
-for every combination of ``{eager, defer} x 2^5`` feature flags:
+for every combination of ``{eager, defer} x 2^6`` feature flags:
 ``am_aggregation``, ``agg_adaptive``, ``agg_compression``, ``obs_spans``,
-``progress_adaptive``.  Expectations:
+``progress_adaptive``, ``wait_hints``.  Expectations:
 
 ===================  =====================================================
 axis                 expectation
@@ -23,6 +23,13 @@ progress_adaptive    checksum unchanged vs. the same combo without it;
                      static engine's (skips replace full polls; the few
                      aged mini-drains are charged as polls and must be
                      amortized by the elisions)
+wait_hints           checksum unchanged, and zero targeted wait flushes —
+                     the ``agg`` workload blocks only in barriers, whose
+                     wait target is non-targeting by design; without
+                     ``am_aggregation`` + ``agg_adaptive`` (the aged
+                     near-full ride-along, the one waitless pathway) the
+                     flag is fully inert: ``solve_ns`` and ``am_injects``
+                     bit-identical to the same combo with it cleared
 ===================  =====================================================
 
 Timing (``solve_ns``) is *expected* to differ across the notification
@@ -44,6 +51,7 @@ AXES = (
     "agg_compression",
     "obs_spans",
     "progress_adaptive",
+    "wait_hints",
 )
 
 CFG = GupsConfig(variant="agg", table_log2=8, updates_per_rank=16, batch=8)
@@ -55,7 +63,7 @@ def combo_key(version, on):
 
 @pytest.fixture(scope="module")
 def matrix():
-    """All 64 runs, keyed by (version, frozenset(enabled flag names))."""
+    """All 128 runs, keyed by (version, frozenset(enabled flag names))."""
     results = {}
     for version in (VE, VD):
         for bits in itertools.product((False, True), repeat=len(AXES)):
@@ -136,3 +144,17 @@ class TestMatrix:
                 on,
             )
             assert static.progress_poll_skips == 0, (version, on)
+
+    def test_wait_hints_inert_without_targeted_waits(self, matrix):
+        for version, on in combos(without=("wait_hints",)):
+            base = matrix[combo_key(version, on)]
+            hinted = matrix[combo_key(version, on | {"wait_hints"})]
+            assert hinted.checksum == base.checksum, (version, on)
+            # barriers publish non-targeting targets; nothing in the agg
+            # workload blocks on a future, so no targeted flush may fire
+            assert hinted.agg_stats.wait_flushes == 0, (version, on)
+            if not {"am_aggregation", "agg_adaptive"} <= on:
+                # the aged near-full ride-along needs an active age bound;
+                # without one every hinted code path is dead
+                assert hinted.solve_ns == base.solve_ns, (version, on)
+                assert hinted.am_injects == base.am_injects, (version, on)

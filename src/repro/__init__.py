@@ -78,7 +78,7 @@ __version__ = "1.0.0"
 __all__ = [
     # runtime / world
     "spmd_run", "SpmdResult", "Version", "RuntimeConfig", "FeatureFlags",
-    "flags_for", "rank_me", "rank_n", "barrier", "progress",
+    "flags_for", "rank_me", "rank_n", "barrier", "barrier_gen", "progress",
     "world_team", "local_team", "current_ctx", "current_ctx_or_none",
     # memory
     "GlobalPtr", "LocalRef", "TypeSpec", "type_spec",
@@ -118,6 +118,14 @@ def rank_n() -> int:
 def barrier() -> None:
     """Block until all ranks arrive (``upcxx::barrier``); runs progress."""
     current_ctx().barrier()
+
+
+def barrier_gen():
+    """Generator form of :func:`barrier` for continuation rank bodies:
+    ``yield from barrier_gen()``.  Runs on both scheduler substrates (the
+    event loop interprets the yields in place; rank threads drive them
+    through the blocking primitives)."""
+    return current_ctx().barrier_gen()
 
 
 def progress() -> None:

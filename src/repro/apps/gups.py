@@ -75,12 +75,13 @@ notification.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import GeneratorType
 
 import numpy as np
 
 from repro import (
     AtomicDomain,
-    barrier,
+    barrier_gen,
     current_ctx,
     make_future,
     new_array,
@@ -259,7 +260,14 @@ def _charge_update_work(ctx) -> None:
 
 
 def _gups_body(cfg: GupsConfig):
-    """The SPMD body; returns this rank's xor over its owned table part."""
+    """The SPMD body; returns this rank's xor over its owned table part.
+
+    Written as a generator continuation (``yield from`` at every blocking
+    construct) so the event-loop scheduler resumes it in place; under the
+    thread scheduler the rank thread's trampoline drives the same
+    generator through the blocking primitives — one body, both substrates,
+    identical charge sequences.
+    """
     ctx = current_ctx()
     me, p = rank_me(), rank_n()
     n = 1 << cfg.table_log2
@@ -274,13 +282,17 @@ def _gups_body(cfg: GupsConfig):
     # offsets agree; a dist_object fetch would carry the same information)
     bases = [GlobalPtr(r, mine.offset, mine.ts) for r in range(p)]
     stream = hpcc_stream(rank_seed(cfg.seed, me), cfg.updates_per_rank)
-    barrier()
+    yield from barrier_gen()
     ctx.clock.mark("solve")
 
     runner = _VARIANT_BODIES[cfg.variant]
-    runner(ctx, cfg, bases, per_rank, stream)
+    body = runner(ctx, cfg, bases, per_rank, stream)
+    if isinstance(body, GeneratorType):
+        # waiting variants are continuation generators; raw/manual never
+        # reach a switch point and stay plain calls (body is None)
+        yield from body
 
-    barrier()
+    yield from barrier_gen()
     solve_ns = ctx.clock.elapsed_since("solve")
     local_xor = int(np.bitwise_xor.reduce(view)) if per_rank else 0
     return solve_ns, local_xor, view.copy()
@@ -345,13 +357,13 @@ def _run_rma_promise(ctx, cfg, bases, per_rank, stream):
             dest = _target(bases, per_rank, ran)
             targets.append(dest)
             rget_into(dest, scratch + i, 1, operation_cx.as_promise(p))
-        p.finalize().wait()
+        yield from p.finalize().wait_gen()
         p2 = Promise()
         for i, ran in enumerate(chunk):
             ctx.charge(CostAction.CPU_LOAD)
             val = (int(sview[i]) ^ ran) & _MASK64
             rput(val, targets[i], operation_cx.as_promise(p2))
-        p2.finalize().wait()
+        yield from p2.finalize().wait_gen()
 
 
 def _run_rma_future(ctx, cfg, bases, per_rank, stream):
@@ -367,13 +379,13 @@ def _run_rma_future(ctx, cfg, bases, per_rank, stream):
             dest = _target(bases, per_rank, ran)
             targets.append(dest)
             fut = when_all(fut, rget_into(dest, scratch + i, 1))
-        fut.wait()
+        yield from fut.wait_gen()
         fut = make_future()
         for i, ran in enumerate(chunk):
             ctx.charge(CostAction.CPU_LOAD)
             val = (int(sview[i]) ^ ran) & _MASK64
             fut = when_all(fut, rput(val, targets[i]))
-        fut.wait()
+        yield from fut.wait_gen()
 
 
 def _run_amo_promise(ctx, cfg, bases, per_rank, stream):
@@ -386,7 +398,7 @@ def _run_amo_promise(ctx, cfg, bases, per_rank, stream):
             _charge_update_work(ctx)
             dest = _target(bases, per_rank, ran)
             ad.bit_xor(dest, ran, operation_cx.as_promise(p))
-        p.finalize().wait()
+        yield from p.finalize().wait_gen()
 
 
 def _run_amo_future(ctx, cfg, bases, per_rank, stream):
@@ -399,7 +411,7 @@ def _run_amo_future(ctx, cfg, bases, per_rank, stream):
             _charge_update_work(ctx)
             dest = _target(bases, per_rank, ran)
             fut = when_all(fut, ad.bit_xor(dest, ran))
-        fut.wait()
+        yield from fut.wait_gen()
 
 
 def _run_agg(ctx, cfg, bases, per_rank, stream):
@@ -430,10 +442,12 @@ def _run_agg(ctx, cfg, bases, per_rank, stream):
         _charge_update_work(ctx)
         dest = _target(bases, per_rank, ran)
         rpc_ff(dest.rank, apply_update, dest.offset, ran)
-    barrier()  # all updates injected (buffers flush on barrier progress)
+    # all updates injected (buffers flush on barrier progress)
+    yield from barrier_gen()
     while ctx.progress():  # drain: handlers generate no new AMs
         pass
-    barrier()  # nobody reads its table part before everyone drained
+    # nobody reads its table part before everyone drained
+    yield from barrier_gen()
 
 
 def _run_prog_adaptive(ctx, cfg, bases, per_rank, stream):
@@ -454,7 +468,7 @@ def _run_prog_adaptive(ctx, cfg, bases, per_rank, stream):
             _charge_update_work(ctx)
             dest = _target(bases, per_rank, ran)
             ad.bit_xor(dest, ran, operation_cx.as_promise(p))
-        p.finalize().wait()
+        yield from p.finalize().wait_gen()
         # idle polling segment: after the batch completes there is nothing
         # for progress to do, but a polling-driven application cannot know
         # that — the static engine pays a full poll per call here
@@ -488,8 +502,8 @@ def _run_wait_hints(ctx, cfg, bases, per_rank, stream):
         for ran in probed:
             _charge_update_work(ctx)
             dest = _target(bases, per_rank, ran)
-            ad.bit_xor(dest, ran).wait()
-        p.finalize().wait()
+            yield from ad.bit_xor(dest, ran).wait_gen()
+        yield from p.finalize().wait_gen()
         # idle polling segment, as in prog_adaptive: the application
         # overlaps local work with polls that (post-wait) find nothing
         for _ in chunk:
@@ -537,7 +551,8 @@ def run_gups(
     n = 1 << cfg.table_log2
     seg_bytes = max(1 << 16, (n // ranks + cfg.batch + 64) * 8 * 2)
     res: SpmdResult = spmd_run(
-        lambda: _gups_body(cfg),
+        _gups_body,
+        args=(cfg,),
         ranks=ranks,
         version=version,
         machine=machine,

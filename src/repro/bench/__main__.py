@@ -8,6 +8,7 @@ Reproduces any of the paper's figures without pytest:
     python -m repro.bench gups --machine ibm --ranks 16
     python -m repro.bench matching --ranks 16 --scale 3
     python -m repro.bench offnode
+    python -m repro.bench sched --out BENCH_sched.json
     python -m repro.bench all
     python -m repro.bench trace --variant rma_future --out gups.trace.json
 """
@@ -130,6 +131,24 @@ def cmd_trace(args) -> None:
         print("open in https://ui.perfetto.dev or chrome://tracing")
 
 
+def cmd_sched(args) -> None:
+    from repro.bench.schedbench import write_sched_bench
+
+    doc = write_sched_bench(
+        args.out, quick=args.quick, progress=lambda m: print(m, flush=True)
+    )
+    head = doc["headline"]
+    print(
+        f"storm speedup (event vs thread): "
+        f"{head['storm_speedup_min']:.1f}x .. {head['storm_speedup_max']:.1f}x"
+    )
+    print(
+        f"gups speedup (event vs thread):  "
+        f"{head['gups_speedup_min']:.1f}x .. {head['gups_speedup_max']:.1f}x"
+    )
+    print(f"wrote {args.out}")
+
+
 def cmd_all(args) -> None:
     for machine in ("intel", "ibm", "marvell"):
         args.machine = machine
@@ -220,6 +239,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the first N spans as a text timeline",
     )
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "sched",
+        help="scheduler substrate benchmark (thread vs event loop) "
+        "-> BENCH_sched.json",
+    )
+    p.add_argument(
+        "--out", default="BENCH_sched.json",
+        help="artifact path (default: BENCH_sched.json in the cwd)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small sweep for CI smoke (seconds instead of minutes)",
+    )
+    p.set_defaults(fn=cmd_sched)
 
     p = sub.add_parser("all", help="every figure, default parameters")
     common(p)

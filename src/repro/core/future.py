@@ -22,6 +22,7 @@ from typing import Any, Callable
 from repro.core.cell import PromiseCell, alloc_cell, ready_cell, ready_unit_cell
 from repro.errors import FutureError
 from repro.runtime.context import current_ctx
+from repro.runtime.switchpoints import BlockUntil, run_blocking
 from repro.runtime.wait_hints import WaitTarget
 from repro.sim.costmodel import CostAction
 
@@ -122,16 +123,38 @@ class Future:
         ctx.charge(CostAction.FUTURE_READY_CHECK)
         if cell.ready:
             return self._finish_wait(ctx)
+        return run_blocking(ctx, self._wait_spin_gen(ctx, cell))
+
+    def wait_gen(self):
+        """Generator form of :meth:`wait` for continuation rank bodies:
+        ``value = yield from fut.wait_gen()``.
+
+        Yields switch commands instead of calling the blocking scheduler
+        primitives, so the event-loop scheduler interprets the waits in
+        place; :meth:`wait` drives this same spin through ``run_blocking``
+        — one implementation, identical charge sequence on both
+        substrates.
+        """
+        ctx = current_ctx()
+        cell = self._cell
+        ctx.charge(CostAction.FUTURE_READY_CHECK)
+        if cell.ready:
+            return self._finish_wait(ctx)
+        return (yield from self._wait_spin_gen(ctx, cell))
+
+    def _wait_spin_gen(self, ctx, cell):
+        """The not-ready wait spin (progress / re-check / block) as a
+        switch-command generator."""
         if ctx.wait_hints:
-            return self._wait_hinted(ctx, cell)
+            return (yield from self._wait_hinted_gen(ctx, cell))
         while True:
             ctx.progress()
             ctx.charge(CostAction.FUTURE_READY_CHECK)
             if cell.ready:
                 return self._finish_wait(ctx)
-            ctx.block_until(lambda: cell.ready or ctx.has_incoming())
+            yield BlockUntil(lambda: cell.ready or ctx.has_incoming())
 
-    def _wait_hinted(self, ctx, cell):
+    def _wait_hinted_gen(self, ctx, cell):
         """The ``wait_hints`` spin: same loop as ``wait`` but with this
         future's cell/destination published as the active wait target, so
         each poll's targeted drain dispatches the awaited notifications
@@ -159,7 +182,7 @@ class Future:
                 # the targeted ones — a peer may be blocked on an AM the
                 # targeted flush deliberately left batching
                 ctx.flush_aggregation(reason="wait_block")
-                ctx.block_until(lambda: cell.ready or ctx.has_incoming())
+                yield BlockUntil(lambda: cell.ready or ctx.has_incoming())
         finally:
             ctx.pop_wait_target()
 

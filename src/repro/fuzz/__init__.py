@@ -19,6 +19,7 @@ from repro.fuzz.programs import (
 )
 from repro.fuzz.runner import (
     MODES,
+    SCHEDULERS,
     FuzzOutcome,
     check_program,
     mode_flags,
@@ -32,6 +33,7 @@ __all__ = [
     "program_from_json",
     "program_to_json",
     "MODES",
+    "SCHEDULERS",
     "FuzzOutcome",
     "mode_flags",
     "run_program",

@@ -26,7 +26,7 @@ from repro.fuzz.programs import (
     program_from_json,
     program_to_json,
 )
-from repro.fuzz.runner import MODES, check_program, run_program
+from repro.fuzz.runner import MODES, SCHEDULERS, check_program, run_program
 
 
 def _program_seed(seed: int, index: int) -> int:
@@ -79,7 +79,14 @@ def main(argv=None) -> int:
         help="re-run the program in a failure artifact (or a bare "
         "program JSON) instead of generating new ones",
     )
+    parser.add_argument(
+        "--sched", choices=SCHEDULERS + ("both",), default="thread",
+        help="scheduler substrate to run on; 'both' additionally asserts "
+        "the event loop reproduces the thread scheduler exactly, clocks "
+        "included (default: thread)",
+    )
     args = parser.parse_args(argv)
+    schedulers = SCHEDULERS if args.sched == "both" else (args.sched,)
 
     if args.replay:
         with open(args.replay) as fh:
@@ -87,7 +94,7 @@ def main(argv=None) -> int:
         program = program_from_json(
             json.dumps(doc["program"] if "program" in doc else doc)
         )
-        mismatches = check_program(program)
+        mismatches = check_program(program, schedulers=schedulers)
         if mismatches:
             print(f"still mismatching: {mismatches}", file=sys.stderr)
             return 1
@@ -100,12 +107,12 @@ def main(argv=None) -> int:
         print(f"seed {seed}: {args.programs} programs ...", flush=True)
         for index in range(args.programs):
             program = generate_program(_program_seed(seed, index))
-            mismatches = check_program(program)
+            mismatches = check_program(program, schedulers=schedulers)
             if mismatches:
                 return _fail(args, seed, index, program, mismatches)
             if args.replay_every and index % args.replay_every == 0:
-                a = run_program(program, "adaptive")
-                b = run_program(program, "adaptive")
+                a = run_program(program, "adaptive", schedulers[0])
+                b = run_program(program, "adaptive", schedulers[0])
                 if a != b:
                     return _fail(
                         args, seed, index, program,
@@ -114,8 +121,8 @@ def main(argv=None) -> int:
             total += 1
     dt = time.time() - t0
     print(
-        f"OK: {total} programs x {len(MODES)} modes agree "
-        f"({dt:.1f}s)"
+        f"OK: {total} programs x {len(MODES)} modes "
+        f"x {len(schedulers)} scheduler(s) agree ({dt:.1f}s)"
     )
     return 0
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 from repro import (
     AtomicDomain,
-    barrier,
+    barrier_gen,
     current_ctx,
     new_array,
     operation_cx,
@@ -49,6 +49,10 @@ _MASK64 = (1 << 64) - 1
 
 #: the differential mode set (name -> (version, flags))
 MODES = ("eager", "defer", "adaptive", "hinted")
+
+#: scheduler substrates a program can run on (must be indistinguishable —
+#: clocks included — for any program; the differential check enforces it)
+SCHEDULERS = ("thread", "event")
 
 
 def mode_flags(mode: str) -> tuple[Version, FeatureFlags]:
@@ -109,6 +113,8 @@ def _apply_xor(offset: int, ts, value: int) -> None:
 
 
 def _fuzz_body(program: FuzzProgram):
+    # a generator continuation: runs in place on the event-loop scheduler
+    # and through the rank thread's trampoline on the thread scheduler
     ctx = current_ctx()
     me = ctx.rank
     ranks = program.ranks
@@ -118,7 +124,7 @@ def _fuzz_body(program: FuzzProgram):
     # lock-step allocation: offsets agree across ranks (cf. the GUPS body)
     bases = [GlobalPtr(r, arr.offset, arr.ts) for r in range(ranks)]
     ad = AtomicDomain({"bit_xor", "add"}, "u64")
-    barrier()
+    yield from barrier_gen()
 
     values: list[tuple[int, int, int]] = []
     futures_waited = 0
@@ -130,7 +136,7 @@ def _fuzz_body(program: FuzzProgram):
         def wait_pending():
             nonlocal futures_waited
             for serial, fut, record in pending:
-                v = fut.wait()
+                v = yield from fut.wait_gen()
                 futures_waited += 1
                 if record:
                     values.append((phase_i, serial, int(v) & _MASK64))
@@ -162,7 +168,7 @@ def _fuzz_body(program: FuzzProgram):
                 fut = rpc(op["dst"], _pure_fn, op["value"])
                 pending.append((serial, fut, True))
             elif kind == "wait_all":
-                wait_pending()
+                yield from wait_pending()
             elif kind == "progress":
                 for _ in range(op["n"]):
                     ctx.progress()
@@ -171,13 +177,13 @@ def _fuzz_body(program: FuzzProgram):
 
         # phase fence: settle local completions, deliver stray rpc_ff
         # updates, and only then let anyone read the next phase's roles
-        wait_pending()
-        prom.finalize().wait()
+        yield from wait_pending()
+        yield from prom.finalize().wait_gen()
         promises_done += 1
-        barrier()
+        yield from barrier_gen()
         while ctx.progress():
             pass
-        barrier()
+        yield from barrier_gen()
 
     return (
         tuple(int(x) for x in view),
@@ -187,11 +193,27 @@ def _fuzz_body(program: FuzzProgram):
     )
 
 
-def run_program(program: FuzzProgram, mode: str) -> FuzzOutcome:
-    """Execute ``program`` under ``mode``; a pure function of both."""
+def run_program(
+    program: FuzzProgram, mode: str, scheduler: str = "thread"
+) -> FuzzOutcome:
+    """Execute ``program`` under ``mode``; a pure function of both.
+
+    ``scheduler`` picks the substrate: ``"thread"`` (one thread per rank)
+    or ``"event"`` (every rank a continuation on one event loop).  The
+    substrates are required to be observably identical — same tables,
+    values, completions, *and clocks* — so the outcome is a pure function
+    of (program, mode) alone.
+    """
     version, flags = mode_flags(mode)
+    if scheduler == "event":
+        flags = flags.replace(sched_event_loop=True)
+    elif scheduler != "thread":
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
+        )
     res = spmd_run(
-        lambda: _fuzz_body(program),
+        _fuzz_body,
+        args=(program,),
         ranks=program.ranks,
         version=version,
         machine="generic",
@@ -209,13 +231,23 @@ def run_program(program: FuzzProgram, mode: str) -> FuzzOutcome:
 
 
 def check_program(
-    program: FuzzProgram, modes: tuple[str, ...] = MODES
+    program: FuzzProgram,
+    modes: tuple[str, ...] = MODES,
+    schedulers: tuple[str, ...] = ("thread",),
 ) -> list[str]:
     """Run ``program`` under every mode; describe any disagreement.
 
     Returns an empty list when all modes agree on tables, values, and
-    completion counts (clocks are exempt — they are the measurement)."""
-    outcomes = {mode: run_program(program, mode) for mode in modes}
+    completion counts (clocks are exempt — they are the measurement).
+
+    With more than one entry in ``schedulers``, every mode additionally
+    runs on each extra substrate, and those runs must match the first
+    substrate's outcome *exactly* — clocks included — since the scheduler
+    swap is an implementation detail, not a semantic mode.
+    """
+    outcomes = {
+        mode: run_program(program, mode, schedulers[0]) for mode in modes
+    }
     base_mode = modes[0]
     base = outcomes[base_mode]
     mismatches = []
@@ -234,4 +266,12 @@ def check_program(
                 f"completion counts differ: {base_mode} vs {mode} "
                 f"({base.completions} vs {other.completions})"
             )
+    for scheduler in schedulers[1:]:
+        for mode in modes:
+            other = run_program(program, mode, scheduler)
+            if other != outcomes[mode]:
+                mismatches.append(
+                    f"scheduler substrates disagree under {mode}: "
+                    f"{schedulers[0]} vs {scheduler}"
+                )
     return mismatches

@@ -163,6 +163,28 @@ class FeatureFlags:
         Maximum spans retained per rank; later spans are counted as
         dropped but still stamped (only consulted when ``obs_spans`` is
         on).
+    sched_event_loop:
+        Run simulated ranks on the single-threaded event-loop scheduler
+        (:mod:`repro.runtime.event_loop`) instead of thread-per-rank
+        token passing.  Both substrates drive the same round-robin
+        promote-and-pick policy core, so functional results, virtual
+        clocks, deadlock declarations, and teardown behavior are
+        bit-identical; rank bodies written as generator functions run as
+        in-place continuations (one generator resume per switch — the
+        speedup), while plain-function bodies transparently ride a
+        per-rank thread shim with the original substrate's cost.  Off by
+        default on every build.
+    cost_batching:
+        Defer per-charge virtual-clock advances into a per-rank
+        accumulator that is flushed lazily at the next clock read (every
+        switch point, timestamp, and barrier reads the clock, so no stale
+        time is ever observed).  Functional results and action counts are
+        identical; final virtual clocks can differ from per-charge
+        advancing in the last few ULPs because floating-point addition
+        reassociates — which is why this is opt-in and excluded from the
+        scheduler bit-identity guarantee.  Incompatible with timing noise
+        (``RuntimeConfig.noise``): jitter requires a per-charge draw.
+        Off by default on every build.
     """
 
     eager_notification: bool
@@ -192,6 +214,8 @@ class FeatureFlags:
     progress_ewma_alpha: float = 0.25
     wait_hints: bool = False
     wait_flush_fill_frac: float = 0.5
+    sched_event_loop: bool = False
+    cost_batching: bool = False
 
     def __post_init__(self):
         """Reject unusable aggregation knobs at construction.

@@ -18,7 +18,7 @@ import random
 import threading
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.errors import NotInitializedError
+from repro.errors import NotInitializedError, UpcxxError
 from repro.runtime.config import FeatureFlags, RuntimeConfig
 from repro.runtime.progress import ProgressEngine
 from repro.sim.clock import VirtualClock
@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import ObsState
     from repro.runtime.adaptive_progress import AdaptiveProgressController
     from repro.runtime.runtime import World
-    from repro.runtime.scheduler import CooperativeScheduler
+    from repro.runtime.scheduler import SchedulerCore
     from repro.runtime.wait_hints import WaitTarget
 
 
@@ -68,6 +68,14 @@ class RankContext:
             self.costs.noise_run_factor = 1.0 + 2.0 * config.noise * abs(
                 run_rng.gauss(0, 1)
             )
+        if self.flags.cost_batching:
+            if config.noise:
+                raise UpcxxError(
+                    "cost_batching is incompatible with timing noise: "
+                    "jitter must be drawn per charge, which is exactly the "
+                    "per-charge work batching removes"
+                )
+            self.costs.enable_batching()
         self.progress_engine = ProgressEngine(self)
         self.rng = random.Random((config.seed * 1_000_003) ^ (rank + 1))
         # wired by the runtime after construction:
@@ -83,7 +91,9 @@ class RankContext:
         #: adaptive progress controller; wired by the runtime only when
         #: ``flags.progress_adaptive`` is set (None → the static drain loop)
         self.progress_ctl: Optional["AdaptiveProgressController"] = None
-        self.scheduler: Optional["CooperativeScheduler"] = None
+        #: either substrate — CooperativeScheduler (thread-per-rank) or
+        #: EventLoopScheduler; both expose yield_now/block_until
+        self.scheduler: Optional["SchedulerCore"] = None
         #: precomputed gate for the wait-target machinery: with the flag
         #: off no target is ever pushed, so ``active_wait_target`` stays
         #: None and every consumer's behaviour is bit-identical
@@ -148,6 +158,11 @@ class RankContext:
     def barrier(self) -> None:
         """Block until all ranks reach the barrier; synchronize clocks."""
         self.world.barrier(self)
+
+    def barrier_gen(self):
+        """Generator form of :meth:`barrier` for continuation rank bodies
+        (``yield from ctx.barrier_gen()``)."""
+        return self.world.barrier_gen(self)
 
     # -- wait targets -------------------------------------------------------
 

@@ -2,10 +2,11 @@
 
 :func:`spmd_run` is the reproduction's analogue of launching a UPC++ job:
 it builds a :class:`World` (segments, conduit, per-rank contexts, the
-shared ready cell), spawns one thread per rank under the cooperative
-scheduler, runs the supplied function on every rank, and returns the
-per-rank results together with the world (whose virtual clocks and cost
-counters the benchmarks read).
+shared ready cell), runs the supplied function on every rank — one thread
+per rank under the cooperative scheduler, or all ranks on the calling
+thread when ``FeatureFlags.sched_event_loop`` selects the event-loop
+substrate — and returns the per-rank results together with the world
+(whose virtual clocks and cost counters the benchmarks read).
 
 Example
 -------
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.cell import PromiseCell
@@ -39,7 +41,9 @@ from repro.obs import ObsState
 from repro.runtime.adaptive_progress import AdaptiveProgressController
 from repro.runtime.config import RuntimeConfig, Version
 from repro.runtime.context import RankContext, set_current_ctx
+from repro.runtime.event_loop import EventLoopScheduler
 from repro.runtime.scheduler import CooperativeScheduler
+from repro.runtime.switchpoints import BlockUntil, run_blocking
 from repro.sim.costmodel import CostAction
 from repro.sim.machines import MachineProfile, profile_by_name
 
@@ -92,6 +96,10 @@ class World:
                 lambda c=ctx: self.conduit.poll(c)
             )
 
+        #: total rank-to-rank switches the driving scheduler performed
+        #: (filled in by spmd_run after the job completes)
+        self.sched_switches = 0
+
         # barrier state
         self._barrier_epoch = 0
         self._barrier_arrived = 0
@@ -128,6 +136,15 @@ class World:
         """Rendezvous of all ranks; clocks synchronize to the latest
         arrival plus the barrier cost.  Provides user-level progress while
         waiting (as ``upcxx::barrier`` does)."""
+        run_blocking(ctx, self.barrier_gen(ctx))
+
+    def barrier_gen(self, ctx: RankContext):
+        """Generator form of :meth:`barrier` for continuation rank bodies
+        (``yield from world.barrier_gen(ctx)``): yields switch commands
+        instead of calling the blocking primitives, so the event-loop
+        scheduler interprets the waits in place.  :meth:`barrier` drives
+        this same generator through ``run_blocking`` — one implementation,
+        identical charge sequence on both substrates."""
         obs = ctx.obs
         span = (
             obs.begin_span("barrier", "none", locality="coll")
@@ -163,22 +180,22 @@ class World:
                 span.t_hinted = ctx.clock.now_ns
             ctx.push_wait_target(WaitTarget(op="barrier"))
             try:
-                self._barrier_spin(ctx, epoch)
+                yield from self._barrier_spin_gen(ctx, epoch)
             finally:
                 ctx.pop_wait_target()
         else:
-            self._barrier_spin(ctx, epoch)
+            yield from self._barrier_spin_gen(ctx, epoch)
         ctx.clock.advance_to(self._barrier_release_ns)
         if span is not None:
             obs.close_notification(span, ctx.clock.now_ns)
             span.t_waited = ctx.clock.now_ns
 
-    def _barrier_spin(self, ctx: RankContext, epoch: int) -> None:
+    def _barrier_spin_gen(self, ctx: RankContext, epoch: int):
         while self._barrier_epoch == epoch:
             ctx.progress()
             if self._barrier_epoch != epoch:
                 break
-            ctx.block_until(
+            yield BlockUntil(
                 lambda: self._barrier_epoch != epoch or ctx.has_incoming()
             )
 
@@ -231,12 +248,25 @@ def spmd_run(
     flags=None,
     noise: float = 0.0,
     args: Sequence[Any] = (),
+    switch_trace: Optional[list] = None,
 ) -> SpmdResult:
     """Run ``fn(*args)`` as an SPMD program on ``ranks`` simulated ranks.
 
     ``conduit`` defaults to the machine profile's conduit (the paper's
     pairing: smp on Intel, udp on IBM/Marvell).  ``flags`` may override the
     version's feature set for ablations.
+
+    With ``FeatureFlags.sched_event_loop`` set, all ranks run on the
+    calling thread's event loop (:mod:`repro.runtime.event_loop`): a ``fn``
+    that is a generator function runs as an in-place continuation; any
+    other callable rides the per-rank thread shim.  Under the default
+    thread scheduler a generator-function ``fn`` is driven to completion
+    by the rank thread's trampoline, so one body definition serves both
+    substrates.
+
+    ``switch_trace``, when given a list, receives every scheduling decision
+    as a small tuple (see :class:`~repro.runtime.scheduler.SchedulerCore`)
+    — the parity tests' probe.
 
     Raises the first rank's exception if any rank fails (other ranks are
     torn down), and :class:`~repro.errors.DeadlockError` if the program
@@ -254,7 +284,15 @@ def spmd_run(
     world = World(
         config, ranks=ranks, n_nodes=n_nodes, segment_bytes=segment_bytes
     )
-    sched = CooperativeScheduler(ranks)
+    if config.resolved_flags().sched_event_loop:
+        loop = EventLoopScheduler(ranks, switch_trace=switch_trace)
+        values = loop.run(world, fn, args)
+        world.sched_switches = loop.switches
+        err = loop.first_error()
+        if err is not None:
+            raise err
+        return SpmdResult(values=values, world=world)
+    sched = CooperativeScheduler(ranks, switch_trace=switch_trace)
     results: list[Any] = [None] * ranks
     threads: list[threading.Thread] = []
 
@@ -268,7 +306,12 @@ def spmd_run(
             return
         set_current_ctx(ctx)
         try:
-            results[rank] = fn(*args)
+            rv = fn(*args)
+            if isinstance(rv, GeneratorType):
+                # continuation body under the thread substrate: drive it
+                # to completion right here, on its blocking primitives
+                rv = run_blocking(ctx, rv)
+            results[rank] = rv
         except BaseException as exc:  # noqa: BLE001 - propagated to driver
             sched.fail(rank, exc)
             return
@@ -285,6 +328,7 @@ def spmd_run(
     sched.start()
     for t in threads:
         t.join()
+    world.sched_switches = sched.switches
     err = sched.first_error()
     if err is not None:
         raise err

@@ -1,18 +1,30 @@
-"""Deterministic cooperative scheduler for simulated SPMD ranks.
+"""Deterministic cooperative scheduling for simulated SPMD ranks.
 
-Each simulated rank ("process" in the paper's single-node runs) executes on
-its own OS thread, but exactly **one** rank thread runs at any moment: a
-token is passed at well-defined switch points (progress calls, blocking
-waits, barriers, rank completion).  Switch points scan ranks in round-robin
-order, so interleavings — and therefore all functional results and virtual
-clocks — are deterministic for a given program.
+Two substrates share one round-robin policy core:
+
+* :class:`CooperativeScheduler` (this module) — the original substrate:
+  each simulated rank ("process" in the paper's single-node runs) executes
+  on its own OS thread, but exactly **one** rank thread runs at any moment;
+  a token is passed at well-defined switch points (progress calls, blocking
+  waits, barriers, rank completion).
+* :class:`~repro.runtime.event_loop.EventLoopScheduler` — every rank on a
+  single OS thread: rank bodies run as generator continuations and a
+  switch is one generator resume instead of two thread context switches.
+
+:class:`SchedulerCore` holds everything that decides *which* rank runs
+next: the rank state table, blocked-rank predicates, the round-robin
+promote-and-pick scan, the deadlock declaration, and the first-error
+record.  Both substrates drive every switch decision through the same core
+methods, so interleavings — and therefore all functional results and
+virtual clocks — are identical between them (the property the parity tests
+in ``tests/test_event_loop.py`` pin down).
 
 Blocking is predicate-based: a rank blocks with a ``wake_when`` callable;
 whenever the scheduler picks the next rank to run it first re-evaluates
-blocked ranks' predicates (safe, because only the scheduler's current owner
-thread touches shared state).  If no rank is runnable and no predicate is
-true, the job is hung: a :class:`~repro.errors.DeadlockError` is raised in
-every blocked rank, mirroring a wedged SPMD job.
+blocked ranks' predicates (safe, because only the current owner of control
+touches shared state).  If no rank is runnable and no predicate is true,
+the job is hung: a :class:`~repro.errors.DeadlockError` is raised in every
+blocked rank, mirroring a wedged SPMD job.
 """
 
 from __future__ import annotations
@@ -27,26 +39,137 @@ _BLOCKED = "blocked"
 _DONE = "done"
 
 
-class CooperativeScheduler:
+class SchedulerCore:
+    """Scheduling policy shared by the thread and event-loop substrates.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated ranks.
+    switch_trace:
+        Optional list; when given, every scheduling decision appends a
+        small tuple (``("yield", rank)``, ``("block", rank)``,
+        ``("pick", me, chosen)``, …).  Both substrates emit the events at
+        the same semantic points, so two runs of the same program produce
+        equal traces iff they scheduled identically — the parity tests'
+        measurement device.  ``None`` (the default) records nothing.
+    """
+
+    def __init__(self, nranks: int, switch_trace: Optional[list] = None):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = nranks
+        self._states = [_READY] * nranks
+        self._preds: list[Optional[Callable[[], bool]]] = [None] * nranks
+        #: exact count of ranks in ``_BLOCKED`` — maintained at every state
+        #: transition so :meth:`_pick_next` can skip the promotion scan
+        #: (and early-break) when nothing is blocked.  Undercounting would
+        #: change scheduling; every mutation site guards on the prior state.
+        self._blocked = 0
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+        self._started = False
+        self._switch_trace = switch_trace
+        #: control transfers between *distinct* ranks (bench: switches/sec)
+        self.switches = 0
+
+    # -- driver API ---------------------------------------------------------
+
+    def first_error(self) -> Optional[BaseException]:
+        return self._error
+
+    def all_done(self) -> bool:
+        return all(s is _DONE for s in self._states)
+
+    # -- shared internals ---------------------------------------------------
+
+    def _record_error(self, exc: BaseException) -> None:
+        """First error wins; later failures are teardown echoes."""
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+
+    def _teardown_error(self) -> DeadlockError:
+        """The exception secondary ranks see while the job unwinds."""
+        return DeadlockError(
+            f"SPMD job tearing down after failure: {self._error!r}"
+        )
+
+    def _deadlock_error(self) -> DeadlockError:
+        return DeadlockError(
+            "all simulated ranks are blocked and no pending event can wake "
+            "any of them (states: "
+            + ", ".join(f"{i}:{s}" for i, s in enumerate(self._states))
+            + ")"
+        )
+
+    def _pick_next(self, me: int, *, include_self: bool) -> Optional[int]:
+        """Choose the next rank to run, scanning round-robin from ``me+1``.
+
+        Blocked ranks whose predicates now hold are promoted to ready (all
+        of them — promotion must not stop at the first hit, later switch
+        points depend on it); the pick is the first rank, in ring order,
+        that is ready once its visit's promotion has been applied.
+        Returns ``None`` when no rank can make progress.
+
+        The scan walks ring indices with modular arithmetic — no per-switch
+        list allocation — and evaluates predicates in exactly the ascending
+        ring-distance order of the original two-pass implementation, so
+        promotions and the final pick are unchanged.
+        """
+        n = self.nranks
+        states = self._states
+        preds = self._preds
+        first: Optional[int] = None
+        # ring distances 1..n-1 visit every other rank; distance n is `me`
+        # itself, visited (last) only when the caller may self-resume
+        stop = n + 1 if include_self else n
+        if self._blocked == 0:
+            # nothing to promote: the pick is simply the first ready rank
+            # in ring order, and the scan can stop there.  Same result as
+            # the full scan (whose promotion pass would be a no-op), but
+            # O(1) instead of O(n) in the switch-dense common case.
+            for i in range(1, stop):
+                r = me + i
+                if r >= n:
+                    r -= n
+                if states[r] is _READY:
+                    first = r
+                    break
+        else:
+            for i in range(1, stop):
+                r = me + i
+                if r >= n:
+                    r -= n
+                st = states[r]
+                if st is _BLOCKED:
+                    pred = preds[r]
+                    if pred is not None and pred():
+                        states[r] = _READY
+                        preds[r] = None
+                        self._blocked -= 1
+                        if first is None:
+                            first = r
+                elif st is _READY and first is None:
+                    first = r
+        if self._switch_trace is not None:
+            self._switch_trace.append(("pick", me, first))
+        return first
+
+
+class CooperativeScheduler(SchedulerCore):
     """Token-passing scheduler over ``nranks`` rank threads.
 
     The driver thread calls :meth:`start` after launching all rank threads
     (each of which must call :meth:`register_thread` and then
     :meth:`wait_for_token` before touching shared state), and
-    :meth:`join_error` to re-raise any rank failure.
+    :meth:`first_error` to re-raise any rank failure.
     """
 
-    def __init__(self, nranks: int):
-        if nranks < 1:
-            raise ValueError("need at least one rank")
-        self.nranks = nranks
+    def __init__(self, nranks: int, switch_trace: Optional[list] = None):
+        super().__init__(nranks, switch_trace)
         self._tokens = [threading.Event() for _ in range(nranks)]
-        self._states = [_READY] * nranks
-        self._preds: list[Optional[Callable[[], bool]]] = [None] * nranks
         self._threads: list[Optional[threading.Thread]] = [None] * nranks
-        self._error: Optional[BaseException] = None
-        self._error_lock = threading.Lock()
-        self._started = False
 
     # -- rank-thread API ---------------------------------------------------
 
@@ -67,9 +190,12 @@ class CooperativeScheduler:
         returns immediately (no self-handoff churn).
         """
         self._check_owner(rank)
+        if self._switch_trace is not None:
+            self._switch_trace.append(("yield", rank))
         nxt = self._pick_next(rank, include_self=False)
         if nxt is None or nxt == rank:
             return
+        self.switches += 1
         self._tokens[nxt].set()
         self.wait_for_token(rank)
 
@@ -84,40 +210,56 @@ class CooperativeScheduler:
         self._check_owner(rank)
         if wake_when():
             return
+        if self._switch_trace is not None:
+            self._switch_trace.append(("block", rank))
         self._states[rank] = _BLOCKED
         self._preds[rank] = wake_when
+        self._blocked += 1
         nxt = self._pick_next(rank, include_self=True)
         if nxt == rank:
             # our own predicate turned true during the scan (it may depend
-            # on state mutated by the scan itself — conservatively re-run)
+            # on state mutated by the scan itself — conservatively re-run);
+            # the scan's promotion already restored _READY and the count
             self._states[rank] = _READY
             self._preds[rank] = None
             return
         if nxt is None:
             self._declare_deadlock()
         else:
+            self.switches += 1
             self._tokens[nxt].set()
         self.wait_for_token(rank)
-        # woken: predicate was observed true (or an error is propagating)
+        # woken: predicate was observed true (or an error is propagating);
+        # the promoting scan already decremented _blocked — the guard only
+        # matters on paths that wake without promotion
+        if self._states[rank] is _BLOCKED:
+            self._blocked -= 1
         self._states[rank] = _READY
         self._preds[rank] = None
 
     def finish(self, rank: int) -> None:
         """Mark ``rank`` complete and hand the token onward."""
         self._check_owner(rank)
+        if self._switch_trace is not None:
+            self._switch_trace.append(("finish", rank))
         self._states[rank] = _DONE
         self._preds[rank] = None
         nxt = self._pick_next(rank, include_self=False)
         if nxt is not None:
+            self.switches += 1
             self._tokens[nxt].set()
-        elif any(s == _BLOCKED for s in self._states):
+        elif any(s is _BLOCKED for s in self._states):
             self._declare_deadlock()
 
     def fail(self, rank: int, exc: BaseException) -> None:
         """Record a rank failure and wake everyone so the job tears down."""
-        with self._error_lock:
-            if self._error is None:
-                self._error = exc
+        if self._switch_trace is not None:
+            self._switch_trace.append(("fail", rank))
+        self._record_error(exc)
+        if self._states[rank] is _BLOCKED:
+            # a teardown error thrown out of wait_for_token propagates out
+            # of block_until without running its post-wake bookkeeping
+            self._blocked -= 1
         self._states[rank] = _DONE
         self._preds[rank] = None
         for r, tok in enumerate(self._tokens):
@@ -133,12 +275,6 @@ class CooperativeScheduler:
         self._started = True
         self._tokens[0].set()
 
-    def first_error(self) -> Optional[BaseException]:
-        return self._error
-
-    def all_done(self) -> bool:
-        return all(s == _DONE for s in self._states)
-
     # -- internals -------------------------------------------------------------
 
     def _check_owner(self, rank: int) -> None:
@@ -153,42 +289,13 @@ class CooperativeScheduler:
         if self._error is not None:
             # Secondary ranks surface the primary failure as a deadlock-style
             # teardown unless they themselves raised it.
-            raise DeadlockError(
-                f"SPMD job tearing down after failure: {self._error!r}"
-            ) from self._error
-
-    def _pick_next(self, me: int, *, include_self: bool) -> Optional[int]:
-        """Choose the next rank to run, scanning round-robin from ``me+1``.
-
-        Blocked ranks whose predicates now hold are promoted to ready.
-        Returns ``None`` when no rank can make progress.
-        """
-        n = self.nranks
-        order = [(me + 1 + i) % n for i in range(n)]
-        if not include_self:
-            order = [r for r in order if r != me]
-        # First pass: promote blocked ranks with true predicates.
-        for r in order:
-            if self._states[r] == _BLOCKED:
-                pred = self._preds[r]
-                if pred is not None and pred():
-                    self._states[r] = _READY
-                    self._preds[r] = None
-        for r in order:
-            if self._states[r] == _READY:
-                return r
-        return None
+            raise self._teardown_error() from self._error
 
     def _declare_deadlock(self) -> None:
-        exc = DeadlockError(
-            "all simulated ranks are blocked and no pending event can wake "
-            "any of them (states: "
-            + ", ".join(f"{i}:{s}" for i, s in enumerate(self._states))
-            + ")"
-        )
-        with self._error_lock:
-            if self._error is None:
-                self._error = exc
+        if self._switch_trace is not None:
+            self._switch_trace.append(("deadlock", tuple(self._states)))
+        exc = self._deadlock_error()
+        self._record_error(exc)
         for tok in self._tokens:
             tok.set()
         raise exc

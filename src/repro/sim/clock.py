@@ -5,6 +5,15 @@ simulated execution.  Runtime actions advance the clock through
 :meth:`VirtualClock.advance`; synchronization points (barriers, AM arrival)
 use :meth:`VirtualClock.advance_to` to move a clock forward to an absolute
 time (never backward — virtual time is monotone per rank).
+
+When the owning :class:`~repro.sim.costmodel.CostModel` runs in batched
+mode (``FeatureFlags.cost_batching``) it parks charged nanoseconds in a
+per-rank accumulator instead of advancing the clock per charge; the clock
+then carries a *flush hook* that folds the pending time in before any
+read of :attr:`VirtualClock.now_ns` and before any explicit advance, so
+every observable timestamp (AM stamps, barrier max-clocks, span marks) is
+exactly as if each charge had advanced the clock individually — up to
+float-summation reassociation, which is why batching is opt-in.
 """
 
 from __future__ import annotations
@@ -15,14 +24,31 @@ class VirtualClock:
 
     The clock also tracks a set of named accumulation buckets so benchmarks
     can attribute virtual time to phases (e.g. ``"solve"`` vs ``"init"``)
-    via :meth:`window`.
+    via :meth:`mark`/:meth:`elapsed_since`.
     """
 
-    __slots__ = ("now_ns", "_marks")
+    __slots__ = ("_now_ns", "_marks", "_flush_hook")
 
     def __init__(self, start_ns: float = 0.0):
-        self.now_ns: float = float(start_ns)
+        self._now_ns: float = float(start_ns)
         self._marks: dict[str, float] = {}
+        #: zero-argument callable folding a cost accumulator's pending
+        #: nanoseconds into ``_now_ns`` (None → nothing batches on this
+        #: clock and reads are a bare slot load)
+        self._flush_hook = None
+
+    @property
+    def now_ns(self) -> float:
+        """The current virtual time (flushes any batched pending charges
+        first, so timestamps never go stale)."""
+        hook = self._flush_hook
+        if hook is not None:
+            hook()
+        return self._now_ns
+
+    @now_ns.setter
+    def now_ns(self, t_ns: float) -> None:
+        self._now_ns = t_ns
 
     def advance(self, ns: float) -> float:
         """Advance the clock by ``ns`` nanoseconds and return the new time.
@@ -31,8 +57,12 @@ class VirtualClock:
         """
         if ns < 0:
             raise ValueError(f"cannot advance clock by negative time {ns}")
-        self.now_ns += ns
-        return self.now_ns
+        hook = self._flush_hook
+        if hook is not None:
+            # pending batched charges happened before this advance
+            hook()
+        self._now_ns += ns
+        return self._now_ns
 
     def advance_to(self, t_ns: float) -> float:
         """Move the clock forward to absolute time ``t_ns`` if it is ahead
@@ -41,9 +71,12 @@ class VirtualClock:
         Returns the (possibly unchanged) current time.  This models waiting
         for an event that happened at ``t_ns`` on another rank's timeline.
         """
-        if t_ns > self.now_ns:
-            self.now_ns = t_ns
-        return self.now_ns
+        hook = self._flush_hook
+        if hook is not None:
+            hook()
+        if t_ns > self._now_ns:
+            self._now_ns = t_ns
+        return self._now_ns
 
     # -- phase marks -----------------------------------------------------
 

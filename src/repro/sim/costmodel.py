@@ -34,6 +34,11 @@ import enum
 from collections import Counter
 from typing import TYPE_CHECKING
 
+try:  # numpy backs the batched-count reduction; optional otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.clock import VirtualClock
     from repro.sim.machines import MachineProfile
@@ -124,6 +129,13 @@ class CostAction(enum.Enum):
     FUNCTION_CALL = "function_call"
 
 
+#: stable dense indexing of the action vocabulary, used by the batched
+#: per-rank count accumulators (a flat list indexes ~3× faster than a
+#: Counter keyed by enum members on the charge hot path)
+_ACTIONS: tuple[CostAction, ...] = tuple(CostAction)
+_ACTION_INDEX: dict[CostAction, int] = {a: i for i, a in enumerate(_ACTIONS)}
+
+
 class CostModel:
     """Charges :class:`CostAction` costs onto a rank's virtual clock.
 
@@ -139,11 +151,26 @@ class CostModel:
     -----
     Counting is always on (it is just a ``Counter`` update); it is what lets
     tests make structural assertions independent of the tuned constants.
+
+    Per-action costs are precomputed into a flat dict at construction
+    (including the ``NETWORK_LATENCY`` special case), so the default charge
+    path pays one dict lookup instead of a method call — the float sequence
+    is unchanged, so results stay bit-identical.
+
+    With :meth:`enable_batching` (``FeatureFlags.cost_batching``) charges
+    accumulate into a pending-nanoseconds scalar and a dense per-action
+    count list instead of touching the clock/Counter per call; the clock's
+    flush hook folds pending time in before any timestamp read, and the
+    counts merge lazily on :meth:`count`/:meth:`snapshot`.  Summing before
+    advancing reassociates float additions, so batched clocks can differ
+    from the default by ULPs — which is why batching is opt-in and excluded
+    from the scheduler substrates' bit-identity guarantee.
     """
 
     __slots__ = (
         "profile", "clock", "counts", "enabled", "tracer", "_ctx",
         "noise", "noise_rng", "noise_run_factor",
+        "_cost_ns", "_batching", "_pending_ns", "_batch_counts",
     )
 
     def __init__(self, profile: "MachineProfile", clock: "VirtualClock"):
@@ -151,6 +178,14 @@ class CostModel:
         self.clock = clock
         self.counts: Counter[CostAction] = Counter()
         self.enabled: bool = True
+        #: precomputed action -> nanoseconds (resolves the profile's
+        #: NETWORK_LATENCY special case once, at construction)
+        self._cost_ns: dict[CostAction, float] = {
+            a: profile.cost_ns(a) for a in _ACTIONS
+        }
+        self._batching: bool = False
+        self._pending_ns: float = 0.0
+        self._batch_counts: list[int] = [0] * len(_ACTIONS)
         #: optional repro.sim.trace.Tracer recording the event timeline
         self.tracer = None
         #: back-reference set by RankContext (used only for tracing)
@@ -176,8 +211,18 @@ class CostModel:
         """Charge ``times`` occurrences of ``action``; return ns charged."""
         if not self.enabled:
             return 0.0
+        if self._batching:
+            self._batch_counts[_ACTION_INDEX[action]] += times
+            ns = self._cost_ns[action] * times
+            if ns:
+                self._pending_ns += ns
+            if self.tracer is not None and self._ctx is not None:
+                self.tracer.record(self._ctx, action, times)
+            return ns
         self.counts[action] += times
-        ns = self._jitter(self.profile.cost_ns(action) * times)
+        ns = self._cost_ns[action] * times
+        if self.noise:
+            ns = self._jitter(ns)
         if ns:
             self.clock.advance(ns)
         if self.tracer is not None and self._ctx is not None:
@@ -188,22 +233,81 @@ class CostModel:
         """Charge a per-byte action scaled by ``nbytes``."""
         if not self.enabled:
             return 0.0
+        if self._batching:
+            self._batch_counts[_ACTION_INDEX[action]] += 1
+            ns = self._cost_ns[action] * nbytes
+            if ns:
+                self._pending_ns += ns
+            if self.tracer is not None and self._ctx is not None:
+                self.tracer.record(self._ctx, action, 1)
+            return ns
         self.counts[action] += 1
-        ns = self._jitter(self.profile.cost_ns(action) * nbytes)
+        ns = self._cost_ns[action] * nbytes
+        if self.noise:
+            ns = self._jitter(ns)
         if ns:
             self.clock.advance(ns)
         if self.tracer is not None and self._ctx is not None:
             self.tracer.record(self._ctx, action, 1)
         return ns
 
+    # -- batched mode --------------------------------------------------------
+
+    def enable_batching(self) -> None:
+        """Switch to accumulator mode (``FeatureFlags.cost_batching``).
+
+        Charges park nanoseconds in :attr:`_pending_ns` and counts in the
+        dense :attr:`_batch_counts` list; the clock's flush hook folds the
+        pending time in before any timestamp is observed.  Incompatible
+        with timing noise: jitter must be drawn per charge, which is the
+        per-charge work batching removes.
+        """
+        if self.noise:
+            raise ValueError(
+                "cost_batching is incompatible with timing noise "
+                "(jitter is drawn per charge)"
+            )
+        self._batching = True
+        self.clock._flush_hook = self._flush_pending
+
+    def _flush_pending(self) -> None:
+        """Fold accumulated pending nanoseconds into the clock (installed
+        as the clock's flush hook; runs before any ``now_ns`` read)."""
+        ns = self._pending_ns
+        if ns:
+            self._pending_ns = 0.0
+            self.clock._now_ns += ns
+
+    def _merge_batched_counts(self) -> None:
+        """Fold the dense batched count list into the ``counts`` Counter."""
+        batch = self._batch_counts
+        if _np is not None:
+            nonzero = _np.nonzero(_np.asarray(batch, dtype=_np.int64))[0]
+        else:  # pragma: no cover - numpy-less fallback
+            nonzero = [i for i, c in enumerate(batch) if c]
+        if len(nonzero) == 0:
+            return
+        counts = self.counts
+        for i in nonzero:
+            counts[_ACTIONS[i]] += batch[i]
+            batch[i] = 0
+
+    # -- queries -------------------------------------------------------------
+
     def count(self, action: CostAction) -> int:
         """How many times ``action`` has been charged."""
+        if self._batching:
+            self._merge_batched_counts()
         return self.counts[action]
 
     def snapshot(self) -> Counter:
         """A copy of the current action counters (for differential checks)."""
+        if self._batching:
+            self._merge_batched_counts()
         return Counter(self.counts)
 
     def reset_counts(self) -> None:
         """Zero the action counters (clock is left untouched)."""
+        if self._batching:
+            self._batch_counts = [0] * len(_ACTIONS)
         self.counts.clear()

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro import (
     AtomicDomain,
     Promise,
-    barrier,
+    barrier_gen,
     current_ctx,
     new_array,
     operation_cx,
@@ -38,6 +38,7 @@ from repro.errors import UpcxxError
 from repro.memory.global_ptr import GlobalPtr
 from repro.runtime.config import Version
 from repro.runtime.runtime import spmd_run
+from repro.runtime.switchpoints import run_blocking
 from repro.sim.costmodel import CostAction
 
 _EMPTY = 0
@@ -89,8 +90,9 @@ class DistributedHashMap:
 
     # -- operations -----------------------------------------------------------
 
-    def insert(self, key: int, value: int, comps=None) -> None:
-        """Insert or update ``key`` (nonzero); waits for completion.
+    def insert_gen(self, key: int, value: int, comps=None):
+        """Generator form of :meth:`insert` for continuation rank bodies
+        (``yield from table.insert_gen(...)``).
 
         Linear probing with atomic claim of empty slots; raises once the
         whole table has been probed (full).
@@ -100,30 +102,45 @@ class DistributedHashMap:
         slot = self._home_slot(key)
         for _ in range(self.n_slots):
             kptr, vptr = self._slot_ptrs(slot)
-            old = self.ad.compare_exchange(kptr, _EMPTY, key).wait()
+            old = yield from self.ad.compare_exchange(
+                kptr, _EMPTY, key
+            ).wait_gen()
             if old in (_EMPTY, key):
                 if comps is None:
-                    rput(value, vptr).wait()
+                    yield from rput(value, vptr).wait_gen()
                 else:
                     rput(value, vptr, comps)
                 return
             slot = (slot + 1) & (self.n_slots - 1)
         raise UpcxxError("distributed hash table is full")
 
-    def find(self, key: int):
-        """The value for ``key``, or None when absent."""
+    def insert(self, key: int, value: int, comps=None) -> None:
+        """Insert or update ``key`` (nonzero); waits for completion.
+
+        Blocking wrapper over :meth:`insert_gen` — one implementation,
+        identical charge sequence on both scheduler substrates.
+        """
+        return run_blocking(self.ctx, self.insert_gen(key, value, comps))
+
+    def find_gen(self, key: int):
+        """Generator form of :meth:`find` for continuation rank bodies."""
         if key == _EMPTY:
             raise UpcxxError("key 0 is reserved (EMPTY)")
         slot = self._home_slot(key)
         for _ in range(self.n_slots):
             kptr, vptr = self._slot_ptrs(slot)
-            k = rget(kptr).wait()
+            k = yield from rget(kptr).wait_gen()
             if k == _EMPTY:
                 return None
             if k == key:
-                return rget(vptr).wait()
+                return (yield from rget(vptr).wait_gen())
             slot = (slot + 1) & (self.n_slots - 1)
         return None
+
+    def find(self, key: int):
+        """The value for ``key``, or None when absent (blocking wrapper
+        over :meth:`find_gen`)."""
+        return run_blocking(self.ctx, self.find_gen(key))
 
     def local_items(self) -> dict[int, int]:
         """Key→value pairs stored in this rank's slice."""
@@ -168,14 +185,18 @@ def _dht_keys(cfg: DhtConfig, rank: int) -> list[int]:
     return [base + i + 1 for i in range(cfg.inserts_per_rank)]
 
 
-def _dht_body(cfg: DhtConfig):
+def _dht_body_gen(cfg: DhtConfig):
+    """The SPMD body as a generator continuation (``yield from`` at every
+    blocking construct), so the event-loop scheduler resumes it in place;
+    :func:`_dht_body` drives this same generator on blocking substrates —
+    one body, both paths, identical charge sequences."""
     ctx = current_ctx()
     me = rank_me()
     table = DistributedHashMap(cfg.log2_slots)
-    barrier()
+    yield from barrier_gen()
     table.attach()
     keys = _dht_keys(cfg, me)
-    barrier()
+    yield from barrier_gen()
     ctx.clock.mark("solve")
 
     if cfg.use_promise:
@@ -183,23 +204,30 @@ def _dht_body(cfg: DhtConfig):
         p = Promise()
         for i, key in enumerate(keys):
             ctx.charge(CostAction.FUNCTION_CALL, 2)  # hash + key gen
-            table.insert(key, i, operation_cx.as_promise(p))
-        p.finalize().wait()
+            yield from table.insert_gen(key, i, operation_cx.as_promise(p))
+        yield from p.finalize().wait_gen()
     else:
         for i, key in enumerate(keys):
             ctx.charge(CostAction.FUNCTION_CALL, 2)
-            table.insert(key, i)
-    barrier()
+            yield from table.insert_gen(key, i)
+    yield from barrier_gen()
     # look up my left neighbor's keys
     peer_keys = _dht_keys(cfg, (me - 1) % rank_n())
     hits = 0
     for i, key in enumerate(peer_keys[: cfg.finds_per_rank]):
         ctx.charge(CostAction.FUNCTION_CALL, 2)
-        if table.find(key) == i:
+        found = yield from table.find_gen(key)
+        if found == i:
             hits += 1
-    barrier()
+    yield from barrier_gen()
     solve_ns = ctx.clock.elapsed_since("solve")
     return solve_ns, hits, table.local_items()
+
+
+def _dht_body(cfg: DhtConfig):
+    """Blocking form of the body (rides the thread-shim on the event-loop
+    substrate) — kept as the parity oracle for the continuation port."""
+    return run_blocking(current_ctx(), _dht_body_gen(cfg))
 
 
 def run_dht(
@@ -209,8 +237,15 @@ def run_dht(
     version: Version = Version.V2021_3_6_EAGER,
     machine: str = "intel",
     flags=None,
+    continuation: bool = True,
 ) -> DhtResult:
-    """Run the DHT workload; correctness = every lookup hit."""
+    """Run the DHT workload; correctness = every lookup hit.
+
+    ``continuation=True`` (default) passes the generator body so the
+    event-loop scheduler runs each rank as an in-place continuation;
+    ``False`` forces the blocking wrapper (thread-shim path) — the parity
+    tests compare the two.
+    """
     total_keys = cfg.inserts_per_rank * ranks
     if total_keys * 2 > (1 << cfg.log2_slots):
         raise UpcxxError(
@@ -218,8 +253,10 @@ def run_dht(
             f"({total_keys} keys, {1 << cfg.log2_slots} slots)"
         )
     seg = max(1 << 17, (1 << cfg.log2_slots) // ranks * 16 * 4)
+    body = _dht_body_gen if continuation else (lambda c: _dht_body(c))
     res = spmd_run(
-        lambda: _dht_body(cfg),
+        body,
+        args=(cfg,),
         ranks=ranks,
         version=version,
         machine=machine,

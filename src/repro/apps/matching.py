@@ -39,7 +39,7 @@ from typing import Optional
 from repro import (
     AtomicDomain,
     Promise,
-    barrier,
+    barrier_gen,
     current_ctx,
     new_,
     new_array,
@@ -54,6 +54,7 @@ from repro.errors import UpcxxError
 from repro.memory.global_ptr import GlobalPtr
 from repro.runtime.config import Version
 from repro.runtime.runtime import spmd_run
+from repro.runtime.switchpoints import run_blocking
 from repro.sim.costmodel import CostAction
 
 _PROPOSE = 1
@@ -185,14 +186,21 @@ class _RankSolver:
             return self.mate[v] >= 0
         return v in self.known_dead
 
-    def send(self, dst_rank: int, word: int) -> None:
+    def send_gen(self, dst_rank: int, word: int):
         """Deliver a message: direct for same-process (the app's manual
-        optimization), RMA mailbox for co-located/remote processes."""
+        optimization), RMA mailbox for co-located/remote processes.
+
+        A generator (the slot claim blocks on a future) — every caller in
+        the solve chain is itself a generator, so the continuation
+        substrate resumes the whole stack in place via ``yield from``.
+        """
         if dst_rank == self.me:
             self.ctx.charge(CostAction.CPU_STORE)
             self.local_queue.append(word)
             return
-        slot = self.ad.fetch_add(self.cursor_of[dst_rank], 1).wait()
+        slot = yield from self.ad.fetch_add(
+            self.cursor_of[dst_rank], 1
+        ).wait_gen()
         if slot >= self.cap:
             raise UpcxxError("matching mailbox overflow; raise mailbox_slack")
         rput(
@@ -204,7 +212,7 @@ class _RankSolver:
 
     # -- algorithm steps -------------------------------------------------------
 
-    def recompute_candidate(self, v: int) -> None:
+    def recompute_candidate_gen(self, v: int):
         """Point ``v`` at its heaviest eligible neighbour and propose."""
         best, best_w = -1, -1.0
         for u, w in self.g.adj[v]:
@@ -221,11 +229,11 @@ class _RankSolver:
         # The proposal is sent unconditionally — even when the mutual match
         # is already visible here — because the partner's owner must also
         # observe both sides to record its half of the match.
-        self.send(self.owner(best), pack_msg(_PROPOSE, v, best))
+        yield from self.send_gen(self.owner(best), pack_msg(_PROPOSE, v, best))
         if best in self.proposals.get(v, ()):  # mutual: locally dominant
-            self.declare_match(v, best)
+            yield from self.declare_match_gen(v, best)
 
-    def declare_match(self, v: int, u: int) -> None:
+    def declare_match_gen(self, v: int, u: int):
         """Record ``v``–``u`` as matched (v owned here) and notify v's
         neighbourhood so pointers at v are recomputed.  If u is also owned
         here the partner side is recorded directly; otherwise u's owner
@@ -234,22 +242,22 @@ class _RankSolver:
         if self.mate[v] >= 0:
             return
         self.mate[v] = u
-        self._broadcast_matched(v, u)
+        yield from self._broadcast_matched_gen(v, u)
         if self.vlo <= u < self.vhi:
             if self.mate[u] < 0:
                 self.mate[u] = v
-                self._broadcast_matched(u, v)
+                yield from self._broadcast_matched_gen(u, v)
         else:
             self.known_dead.add(u)
 
-    def _broadcast_matched(self, v: int, partner: int) -> None:
+    def _broadcast_matched_gen(self, v: int, partner: int):
         for x, _ in self.g.adj[v]:
             self.ctx.charge(CostAction.CPU_LOAD)
             if x == partner:
                 continue
-            self.send(self.owner(x), pack_msg(_MATCHED, v, x))
+            yield from self.send_gen(self.owner(x), pack_msg(_MATCHED, v, x))
 
-    def handle(self, word: int) -> None:
+    def handle_gen(self, word: int):
         kind, a, b = unpack_msg(word)
         self.ctx.charge(CostAction.FUNCTION_CALL)
         if kind == _PROPOSE:
@@ -261,7 +269,7 @@ class _RankSolver:
                 return  # stale: v already matched, a will learn via MATCHED
             self.proposals.setdefault(v, set()).add(a)
             if self.cand.get(v, -2) == a:
-                self.declare_match(v, a)
+                yield from self.declare_match_gen(v, a)
         elif kind == _MATCHED:
             # vertex a has been matched; owned neighbour b may need to
             # re-point
@@ -270,14 +278,14 @@ class _RankSolver:
             if not (self.vlo <= v < self.vhi):
                 raise UpcxxError("misrouted MATCHED message")
             if self.mate[v] < 0 and self.cand.get(v, -2) == a:
-                self.recompute_candidate(v)
+                yield from self.recompute_candidate_gen(v)
         else:
             raise UpcxxError(f"corrupt mailbox word {word:#x}")
 
-    def drain_local(self) -> None:
+    def drain_local_gen(self):
         """Process same-process messages to fixpoint within the round."""
         while self.local_queue:
-            self.handle(self.local_queue.pop())
+            yield from self.handle_gen(self.local_queue.pop())
 
     def drain_inbox(self) -> list[int]:
         """Read and reset this rank's mailbox (own memory: direct access)."""
@@ -295,41 +303,59 @@ class _RankSolver:
 
     # -- the solve loop -----------------------------------------------------------
 
-    def solve(self) -> tuple[float, int, int, dict[int, int]]:
+    def solve_gen(self):
+        """The solve loop as a generator continuation (``yield from`` at
+        every blocking construct); :meth:`solve` drives this same
+        generator on blocking substrates."""
         ctx = self.ctx
-        barrier()
+        yield from barrier_gen()
         ctx.clock.mark("solve")
         total_cross = 0
         for v in range(self.vlo, self.vhi):
-            self.recompute_candidate(v)
-        self.drain_local()
+            yield from self.recompute_candidate_gen(v)
+        yield from self.drain_local_gen()
         rounds = 0
         while True:
             if rounds >= min(_MAX_ROUNDS, 512):
                 raise UpcxxError("matching failed to converge (rounds cap)")
             # publish this round's traffic, then settle all puts
             if self.cross_sent:
-                self.ad.add(self.counter0 + rounds, self.cross_sent).wait()
-            self.round_promise.finalize().wait()
+                yield from self.ad.add(
+                    self.counter0 + rounds, self.cross_sent
+                ).wait_gen()
+            yield from self.round_promise.finalize().wait_gen()
             total_cross += self.cross_sent
-            barrier()  # all messages for this round are now in mailboxes
-            sent_global = int(rget(self.counter0 + rounds).wait())
+            yield from barrier_gen()  # round's messages all in mailboxes
+            sent_global = int(
+                (yield from rget(self.counter0 + rounds).wait_gen())
+            )
             rounds += 1
             if sent_global == 0:
                 break
             self.cross_sent = 0
             self.round_promise = Promise()
             words = self.drain_inbox()
-            barrier()  # drains done before anyone writes next-round slots
+            # drains done before anyone writes next-round slots
+            yield from barrier_gen()
             for w in words:
-                self.handle(w)
-            self.drain_local()
-        barrier()
+                yield from self.handle_gen(w)
+            yield from self.drain_local_gen()
+        yield from barrier_gen()
         solve_ns = ctx.clock.elapsed_since("solve")
         return solve_ns, rounds, total_cross, dict(self.mate)
 
+    def solve(self) -> tuple[float, int, int, dict[int, int]]:
+        """Blocking wrapper over :meth:`solve_gen` (thread-shim path)."""
+        return run_blocking(self.ctx, self.solve_gen())
+
+
+def _matching_body_gen(g: Graph, cfg: MatchingConfig):
+    """Generator SPMD body — the event-loop continuation fast path."""
+    return (yield from _RankSolver(g, cfg).solve_gen())
+
 
 def _matching_body(g: Graph, cfg: MatchingConfig):
+    """Blocking SPMD body — the parity oracle for the continuation port."""
     return _RankSolver(g, cfg).solve()
 
 
@@ -342,11 +368,15 @@ def run_matching(
     conduit: str = "mpi",
     graph: Optional[Graph] = None,
     flags=None,
+    continuation: bool = True,
 ) -> MatchingResult:
     """Run the distributed matching solve and collect the global result.
 
     ``conduit`` defaults to mpi, matching the paper's setup for this
-    application.
+    application.  ``continuation=True`` (default) passes the generator
+    body so the event-loop scheduler runs each rank as an in-place
+    continuation; ``False`` forces the blocking wrapper (thread-shim
+    path) — the parity tests compare the two.
     """
     g = graph if graph is not None else cfg.build_graph()
     incident_max = max(
@@ -356,8 +386,12 @@ def run_matching(
     seg_bytes = 8 * (
         4 * per * max(1, incident_max) + cfg.mailbox_slack + 4096
     )
+    body = _matching_body_gen if continuation else (
+        lambda gg, cc: _matching_body(gg, cc)
+    )
     res = spmd_run(
-        lambda: _matching_body(g, cfg),
+        body,
+        args=(g, cfg),
         ranks=ranks,
         version=version,
         machine=machine,

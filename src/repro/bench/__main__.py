@@ -139,11 +139,17 @@ def cmd_sched(args) -> None:
     )
     head = doc["headline"]
     print(
-        f"storm speedup (event vs thread): "
+        f"storm speedup (event vs thread):   "
         f"{head['storm_speedup_min']:.1f}x .. {head['storm_speedup_max']:.1f}x"
     )
     print(
-        f"gups speedup (event vs thread):  "
+        f"blocked speedup (wake vs scan):    "
+        f"{head['blocked_speedup_min']:.1f}x .. "
+        f"{head['blocked_speedup_max']:.1f}x "
+        f"({head['blocked_1024_wake_switches_per_s']} switches/s at 1024)"
+    )
+    print(
+        f"gups speedup (event vs thread):    "
         f"{head['gups_speedup_min']:.1f}x .. {head['gups_speedup_max']:.1f}x"
     )
     print(f"wrote {args.out}")

@@ -10,6 +10,17 @@ families and emits a machine-readable artifact (``BENCH_sched.json``):
   is the regime the event loop exists for (a switch is one generator
   ``send`` instead of two thread context switches plus an Event
   round-trip) and where its ≥5× speedup shows.
+* **blocked storm** — the blocked-heavy variant: every rank loops over a
+  barrier with staggered arrivals, so at any moment nearly every rank is
+  *parked*.  This is the regime the wake-list scheduler
+  (``FeatureFlags.sched_wake_list``) exists for: the legacy
+  predicate-scan pick re-evaluates every blocked rank's predicate on
+  every switch (O(blocked) per switch, O(ranks²) per barrier round),
+  while the wake list promotes exactly the ranks whose completion event
+  fired (O(1) per switch).  Rows compare wake-list on vs off on the
+  event-loop substrate at 16–1024 ranks; the plain **storm** rows above
+  are all-ready (nobody ever blocks) and guard the other side — the
+  wake-list bookkeeping must not slow the no-blocking fast path.
 * **gups** — the existing §IV-B sweep cells plus a strong-scaling
   extension to 1024 ranks.  These rows are reported honestly: op-dense
   GUPS wall-clock is dominated by simulating the RMA operations
@@ -18,9 +29,9 @@ families and emits a machine-readable artifact (``BENCH_sched.json``):
   loop's win on GUPS is capability, not per-cell wall-clock: 1024-rank
   runs without 1024 OS threads.
 
-Every row cross-checks the two substrates (equal switch counts for storm,
-equal checksums and virtual clocks for GUPS) — the benchmark doubles as a
-parity smoke test.
+Every row cross-checks its two configurations (equal switch counts for
+the storms, equal checksums and virtual clocks for GUPS) — the benchmark
+doubles as a parity smoke test.
 """
 
 from __future__ import annotations
@@ -31,14 +42,21 @@ import sys
 import time
 from typing import Optional
 
+from repro import barrier_gen, current_ctx, rank_me
 from repro.apps.gups import GupsConfig, run_gups
 from repro.runtime.config import Version, flags_for
 from repro.runtime.runtime import spmd_run
 from repro.runtime.switchpoints import YIELD_NOW
+from repro.sim.costmodel import CostAction
 
 #: (ranks, yields-per-rank) of the storm sweep; iteration counts shrink as
 #: ranks grow so each row stays in the same wall-clock ballpark
 STORM_SWEEP = ((16, 500), (64, 200), (256, 100), (1024, 50))
+
+#: (ranks, barrier-rounds) of the blocked-heavy sweep.  Rounds shrink as
+#: ranks grow, but note the scan's work per round *grows* with ranks —
+#: that growth is the measurement.
+BLOCKED_SWEEP = ((16, 200), (64, 80), (256, 30), (1024, 10))
 
 #: the existing §IV-B sweep cells (weak scaling, 16 ranks — op-bound) and
 #: the strong-scaling extension (fixed total updates spread over the ranks)
@@ -92,6 +110,58 @@ def storm_row(ranks: int, iters: int, *, repeats: int = 3) -> dict:
         "speedup": round(th_s / ev_s, 2),
         "thread_switches_per_s": round(th_sw / th_s),
         "event_switches_per_s": round(ev_sw / ev_s),
+    }
+
+
+def _blocked_storm_body(rounds: int):
+    def body():
+        ctx = current_ctx()
+        me = rank_me()
+        for k in range(rounds):
+            # staggered arrivals: uneven local work per rank per round, so
+            # early arrivals genuinely park while stragglers finish
+            ctx.charge(CostAction.FUNCTION_CALL, 1 + ((me + k) % 7))
+            yield from barrier_gen()
+
+    return body
+
+
+def blocked_storm_row(ranks: int, rounds: int, *, repeats: int = 3) -> dict:
+    """Wake-list vs predicate-scan on a blocked-heavy barrier storm.
+
+    Runs on the event-loop substrate (the thread substrate cannot reach
+    1024 ranks); the only variable is ``sched_wake_list``.  Switch counts
+    must match exactly — the wake list is a pure pick-mechanism swap."""
+    ver = Version.V2021_3_6_EAGER
+    base = flags_for(ver)
+    fl_wake = dataclasses.replace(
+        base, sched_event_loop=True, sched_wake_list=True
+    )
+    fl_scan = dataclasses.replace(
+        base, sched_event_loop=True, sched_wake_list=False
+    )
+    body = _blocked_storm_body(rounds)
+    kw = dict(version=ver, machine="generic", segment_bytes=1 << 12)
+    sc_s, sc_sw, _ = _time_spmd(
+        body, ranks=ranks, flags=fl_scan, repeats=repeats, **kw
+    )
+    wk_s, wk_sw, _ = _time_spmd(
+        body, ranks=ranks, flags=fl_wake, repeats=repeats, **kw
+    )
+    if sc_sw != wk_sw:
+        raise AssertionError(
+            f"blocked-storm parity: switch counts differ at {ranks} ranks "
+            f"(scan {sc_sw}, wake-list {wk_sw})"
+        )
+    return {
+        "ranks": ranks,
+        "barrier_rounds": rounds,
+        "switches": wk_sw,
+        "scan_s": round(sc_s, 6),
+        "wake_s": round(wk_s, 6),
+        "speedup": round(sc_s / wk_s, 2),
+        "scan_switches_per_s": round(sc_sw / sc_s),
+        "wake_switches_per_s": round(wk_sw / wk_s),
     }
 
 
@@ -160,6 +230,16 @@ def run_sched_bench(
         say(f"storm: {ranks} ranks x {iters} yields ...")
         storm_rows.append(storm_row(ranks, iters, repeats=repeats))
 
+    # quick mode still runs the 1024-rank blocked row: it is the CI
+    # regression gate for wake-list switch throughput
+    blocked_sweep = ((16, 60), (1024, 8)) if quick else BLOCKED_SWEEP
+    blocked_rows = []
+    for ranks, rounds in blocked_sweep:
+        say(f"blocked storm: {ranks} ranks x {rounds} barriers ...")
+        blocked_rows.append(
+            blocked_storm_row(ranks, rounds, repeats=repeats)
+        )
+
     gups_rows = []
     # the existing sweep's widest cells: 16 ranks, both variants x builds
     sweep_ranks = (16,)
@@ -189,6 +269,8 @@ def run_sched_bench(
         ))
 
     storm_speedups = [r["speedup"] for r in storm_rows]
+    blocked_speedups = [r["speedup"] for r in blocked_rows]
+    blocked_top = max(blocked_rows, key=lambda r: r["ranks"])
     gups_speedups = [r["speedup"] for r in gups_rows]
     doc = {
         "bench": "sched",
@@ -202,6 +284,17 @@ def run_sched_bench(
             ),
             "rows": storm_rows,
         },
+        "blocked_storm": {
+            "description": (
+                "blocked-heavy barrier storm on the event-loop substrate: "
+                "staggered arrivals keep nearly every rank parked, so the "
+                "pick mechanism dominates — wake list (sched_wake_list, "
+                "O(1) per switch) vs legacy predicate scan (O(blocked) "
+                "per switch).  Switch counts are asserted equal; only "
+                "wall-clock may differ"
+            ),
+            "rows": blocked_rows,
+        },
         "gups": {
             "description": (
                 "GUPS cells: the existing 16-rank sweep shape (op-bound — "
@@ -214,9 +307,16 @@ def run_sched_bench(
         "headline": {
             "storm_speedup_min": min(storm_speedups),
             "storm_speedup_max": max(storm_speedups),
+            "blocked_speedup_min": min(blocked_speedups),
+            "blocked_speedup_max": max(blocked_speedups),
+            "blocked_1024_wake_switches_per_s": (
+                blocked_top["wake_switches_per_s"]
+            ),
+            "blocked_1024_speedup": blocked_top["speedup"],
             "gups_speedup_min": min(gups_speedups),
             "gups_speedup_max": max(gups_speedups),
             "meets_5x_scheduler_bound": min(storm_speedups) >= 5.0,
+            "meets_5x_wake_list_bound": blocked_top["speedup"] >= 5.0,
             "note": (
                 "the >=5x substrate speedup holds wherever scheduling "
                 "dominates wall-clock (storm rows, every rank count up to "

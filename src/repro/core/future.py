@@ -152,7 +152,10 @@ class Future:
             ctx.charge(CostAction.FUTURE_READY_CHECK)
             if cell.ready:
                 return self._finish_wait(ctx)
-            yield BlockUntil(lambda: cell.ready or ctx.has_incoming())
+            yield BlockUntil(
+                lambda: cell.ready or ctx.has_incoming(),
+                wake=("cell", cell),
+            )
 
     def _wait_hinted_gen(self, ctx, cell):
         """The ``wait_hints`` spin: same loop as ``wait`` but with this
@@ -182,7 +185,10 @@ class Future:
                 # the targeted ones — a peer may be blocked on an AM the
                 # targeted flush deliberately left batching
                 ctx.flush_aggregation(reason="wait_block")
-                yield BlockUntil(lambda: cell.ready or ctx.has_incoming())
+                yield BlockUntil(
+                    lambda: cell.ready or ctx.has_incoming(),
+                    wake=("cell", cell),
+                )
         finally:
             ctx.pop_wait_target()
 

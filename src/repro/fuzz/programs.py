@@ -33,6 +33,14 @@ next phase's roles sound: all futures waited, the promise finalized, a
 barrier, a drain to quiescence (delivering stray ``rpc_ff`` updates — the
 handlers send no further AMs), and a closing barrier.
 
+Programs are additionally *blocked-heavy*: ``spin`` ops charge pure local
+work (staggering the ranks' virtual clocks), and each phase interleaves
+0–2 extra mid-phase barriers at a random per-rank position (every rank
+gets the same count — barriers are collective).  Together they produce
+staggered barrier arrivals and long-parked waits, exercising the
+scheduler's blocked-rank machinery (wake lists vs. the predicate scan)
+rather than only the all-ready fast path.
+
 Programs are plain data — JSON round-trippable via
 :func:`program_to_json` / :func:`program_from_json` — so a failing program
 can be shipped as a CI artifact and replayed exactly.
@@ -131,7 +139,7 @@ def _gen_rank_ops(
     adds = _cells_with(roles, _ROLE_AMO_ADD)
     frozen = _cells_with(roles, _ROLE_FROZEN)
 
-    kinds = ["rpc", "wait_all", "progress"]
+    kinds = ["rpc", "wait_all", "progress", "spin"]
     if my_puts:
         kinds += ["put"] * 3
     if xors:
@@ -189,9 +197,29 @@ def _gen_rank_ops(
             )
         elif kind == "wait_all":
             ops.append({"kind": "wait_all"})
+        elif kind == "spin":
+            # pure local work: staggers this rank's virtual clock so the
+            # collective points below see genuinely uneven arrivals
+            ops.append({"kind": "spin", "n": rng.randint(5, 60)})
         else:
             ops.append({"kind": "progress", "n": rng.randint(1, 3)})
     return tuple(ops)
+
+
+def _insert_barriers(rng: random.Random, ops, n_barriers: int):
+    """Interleave ``n_barriers`` mid-phase barriers into every rank's op
+    list at independent random positions (same count per rank — barriers
+    are collective).  Uneven positions + ``spin`` clock skew make early
+    arrivals park long while stragglers work: the blocked-heavy shape."""
+    if not n_barriers:
+        return ops
+    out = []
+    for rank_ops in ops:
+        row = list(rank_ops)
+        for _ in range(n_barriers):
+            row.insert(rng.randint(0, len(row)), {"kind": "barrier"})
+        out.append(tuple(row))
+    return tuple(out)
 
 
 def generate_program(seed: int) -> FuzzProgram:
@@ -207,6 +235,7 @@ def generate_program(seed: int) -> FuzzProgram:
             _gen_rank_ops(rng, me, ranks, roles, rng.randint(4, 12))
             for me in range(ranks)
         )
+        ops = _insert_barriers(rng, ops, rng.randint(0, 2))
         phases.append(FuzzPhase(roles=roles, ops=ops))
     return FuzzProgram(
         seed=seed,

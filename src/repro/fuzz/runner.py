@@ -44,6 +44,7 @@ from repro.core.promise import Promise
 from repro.memory.global_ptr import GlobalPtr
 from repro.runtime.config import FeatureFlags, Version, flags_for
 from repro.fuzz.programs import FuzzProgram
+from repro.sim.costmodel import CostAction
 
 _MASK64 = (1 << 64) - 1
 
@@ -172,6 +173,14 @@ def _fuzz_body(program: FuzzProgram):
             elif kind == "progress":
                 for _ in range(op["n"]):
                     ctx.progress()
+            elif kind == "spin":
+                # pure local work — skews this rank's clock so collective
+                # points below see staggered arrivals
+                ctx.charge(CostAction.FUNCTION_CALL, op["n"])
+            elif kind == "barrier":
+                # mid-phase collective: early arrivals park long while
+                # clock-skewed stragglers finish their remaining ops
+                yield from barrier_gen()
             else:  # pragma: no cover - generator never emits other kinds
                 raise ValueError(f"unknown fuzz op kind {kind!r}")
 

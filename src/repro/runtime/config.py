@@ -174,17 +174,34 @@ class FeatureFlags:
         speedup), while plain-function bodies transparently ride a
         per-rank thread shim with the original substrate's cost.  Off by
         default on every build.
+    sched_wake_list:
+        Event-driven wake lists in the scheduler core (both substrates):
+        a blocking construct that names its wake event (cell readiness,
+        barrier epoch advance — see
+        :class:`~repro.runtime.switchpoints.BlockUntil`) parks on a wake
+        bit that the completion site sets, instead of having its predicate
+        re-evaluated by every switch's round-robin scan.  Promotion sets,
+        picks, virtual clocks, and switch traces are bit-identical to the
+        scan (the order-preservation argument is in DESIGN.md §11); any
+        keyless block falls back to the scan until it wakes.  On by
+        default on every build; turning it off restores the pure
+        predicate-scan scheduler — the differential oracle the parity and
+        fuzz suites diff against.
     cost_batching:
-        Defer per-charge virtual-clock advances into a per-rank
-        accumulator that is flushed lazily at the next clock read (every
-        switch point, timestamp, and barrier reads the clock, so no stale
-        time is ever observed).  Functional results and action counts are
-        identical; final virtual clocks can differ from per-charge
-        advancing in the last few ULPs because floating-point addition
-        reassociates — which is why this is opt-in and excluded from the
-        scheduler bit-identity guarantee.  Incompatible with timing noise
-        (``RuntimeConfig.noise``): jitter requires a per-charge draw.
-        Off by default on every build.
+        Defer per-charge virtual-clock advances into a per-rank pending
+        scalar that is flushed lazily at the next clock read (every switch
+        point, timestamp, and barrier reads the clock, so no stale time is
+        ever observed).  Charges accumulate in exact integer clock units
+        (the clock's fixed-point grid — see
+        :mod:`repro.sim.clock`), so integer-add associativity makes the
+        batched clocks **bit-identical** to per-charge advancing, not
+        merely close.  Functional results and action counts are identical
+        too.  On by default on every build; ``cost_batching=False`` is the
+        per-charge opt-out (covered by the flag matrix).  Incompatible
+        with timing noise (``RuntimeConfig.noise``): jitter requires a
+        per-charge draw, so a noisy run with default flags silently
+        resolves to the unbatched model (explicitly requesting both still
+        raises).
     """
 
     eager_notification: bool
@@ -215,7 +232,8 @@ class FeatureFlags:
     wait_hints: bool = False
     wait_flush_fill_frac: float = 0.5
     sched_event_loop: bool = False
-    cost_batching: bool = False
+    sched_wake_list: bool = True
+    cost_batching: bool = True
 
     def __post_init__(self):
         """Reject unusable aggregation knobs at construction.
@@ -381,7 +399,17 @@ class RuntimeConfig:
     noise: float = 0.0
 
     def resolved_flags(self) -> FeatureFlags:
-        return self.flags if self.flags is not None else flags_for(self.version)
+        if self.flags is not None:
+            return self.flags
+        flags = flags_for(self.version)
+        if self.noise and flags.cost_batching:
+            # jitter must be drawn per charge — exactly the per-charge work
+            # batching removes.  A noisy run on a *default* build silently
+            # gets the unbatched cost model; explicitly requesting both
+            # (flags= with cost_batching on plus noise>0) still raises at
+            # context construction.
+            flags = flags.replace(cost_batching=False)
+        return flags
 
     def describe(self) -> str:
         return (

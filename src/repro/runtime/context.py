@@ -139,14 +139,23 @@ class RankContext:
         if self.scheduler is not None:
             self.scheduler.yield_now(self.rank)
 
-    def block_until(self, wake_when: Callable[[], bool]) -> None:
+    def block_until(
+        self,
+        wake_when: Callable[[], bool],
+        wake: Optional[tuple] = None,
+    ) -> None:
         """Block this rank until the predicate holds.
+
+        ``wake`` optionally names the event that turns the predicate true
+        (see :class:`~repro.runtime.switchpoints.BlockUntil`), letting the
+        scheduler park the rank on a wake list instead of re-evaluating
+        the predicate on every switch.
 
         In a standalone world there is nobody else to produce events, so a
         false predicate with no pending local work is an immediate deadlock.
         """
         if self.scheduler is not None:
-            self.scheduler.block_until(self.rank, wake_when)
+            self.scheduler.block_until(self.rank, wake_when, wake)
         elif not wake_when():
             from repro.errors import DeadlockError
 

@@ -175,8 +175,14 @@ class EventLoopScheduler(SchedulerCore):
     any other callable runs under the thread shim.
     """
 
-    def __init__(self, nranks: int, switch_trace: Optional[list] = None):
-        super().__init__(nranks, switch_trace)
+    def __init__(
+        self,
+        nranks: int,
+        switch_trace: Optional[list] = None,
+        *,
+        wake_list: bool = True,
+    ):
+        super().__init__(nranks, switch_trace, wake_list=wake_list)
         self._tasks: list = [None] * nranks
         self._results: list = [None] * nranks
         self._contexts: Optional[list] = None
@@ -201,10 +207,10 @@ class EventLoopScheduler(SchedulerCore):
             "yield switch commands (yield YIELD_NOW) instead"
         )
 
-    def block_until(self, rank: int, wake_when) -> None:
+    def block_until(self, rank: int, wake_when, wake=None) -> None:
         task = self._tasks[rank]
         if type(task) is _ThreadShimTask and task.owns_current_thread():
-            task.post_cmd(BlockUntil(wake_when))
+            task.post_cmd(BlockUntil(wake_when, wake))
             return
         if wake_when():
             return
@@ -267,9 +273,7 @@ class EventLoopScheduler(SchedulerCore):
                         continue  # immediate-true: no switch (thread parity)
                     if trace is not None:
                         trace.append(("block", cur))
-                    states[cur] = _BLOCKED
-                    preds[cur] = pred
-                    self._blocked += 1
+                    self._enter_blocked(cur, pred, cmd.wake)
                     nxt = self._pick_next(cur, include_self=True)
                     if nxt == cur:
                         # own predicate turned true during the scan —
@@ -295,6 +299,7 @@ class EventLoopScheduler(SchedulerCore):
                     trace.append(("finish", cur))
                 self._results[cur] = payload
                 states[cur] = _DONE
+                self._ready_mask &= ~(1 << cur)
                 preds[cur] = None
                 nxt = self._pick_next(cur, include_self=False)
                 if nxt is not None:
@@ -313,6 +318,7 @@ class EventLoopScheduler(SchedulerCore):
                     trace.append(("fail", cur))
                 self._record_error(payload)
                 states[cur] = _DONE
+                self._ready_mask &= ~(1 << cur)
                 preds[cur] = None
                 self._teardown(skip=cur)
                 return
@@ -338,7 +344,9 @@ class EventLoopScheduler(SchedulerCore):
             self._results[cur] = payload
         if self._states[cur] is _BLOCKED:
             self._blocked -= 1
+            self._unregister_wake(cur)
         self._states[cur] = _DONE
+        self._ready_mask &= ~(1 << cur)
         self._preds[cur] = None
         self._teardown(skip=cur)
 
@@ -358,7 +366,9 @@ class EventLoopScheduler(SchedulerCore):
                     task.gen.close()
                 if states[r] is _BLOCKED:
                     self._blocked -= 1
+                    self._unregister_wake(r)
                 states[r] = _DONE
+                self._ready_mask &= ~(1 << r)
                 continue
             if task.kind == "gen":
                 # unwind cleanup runs on the loop thread: bind the rank's
@@ -371,5 +381,7 @@ class EventLoopScheduler(SchedulerCore):
                 self._results[r] = payload
             if states[r] is _BLOCKED:
                 self._blocked -= 1
+                self._unregister_wake(r)
             states[r] = _DONE
+            self._ready_mask &= ~(1 << r)
             self._preds[r] = None

@@ -100,6 +100,12 @@ class World:
         #: (filled in by spmd_run after the job completes)
         self.sched_switches = 0
 
+        #: the driving scheduler (either substrate), wired by spmd_run so
+        #: completion sites (conduit inbox pushes, the barrier epoch
+        #: advance) can notify parked wake-list waiters; None outside a
+        #: scheduled run (ambient worlds never park anyone)
+        self.scheduler = None
+
         # barrier state
         self._barrier_epoch = 0
         self._barrier_arrived = 0
@@ -162,6 +168,9 @@ class World:
             self._barrier_arrived = 0
             self._barrier_maxclock = 0.0
             self._barrier_epoch += 1
+            sched = self.scheduler
+            if sched is not None:
+                sched.notify_barrier_epoch()
             ctx.clock.advance_to(self._barrier_release_ns)
             ctx.progress()
             if span is not None:
@@ -196,7 +205,8 @@ class World:
             if self._barrier_epoch != epoch:
                 break
             yield BlockUntil(
-                lambda: self._barrier_epoch != epoch or ctx.has_incoming()
+                lambda: self._barrier_epoch != epoch or ctx.has_incoming(),
+                wake=("epoch",),
             )
 
     # -- measurement helpers ------------------------------------------------------
@@ -284,15 +294,26 @@ def spmd_run(
     world = World(
         config, ranks=ranks, n_nodes=n_nodes, segment_bytes=segment_bytes
     )
-    if config.resolved_flags().sched_event_loop:
-        loop = EventLoopScheduler(ranks, switch_trace=switch_trace)
+    resolved = config.resolved_flags()
+    if resolved.sched_event_loop:
+        loop = EventLoopScheduler(
+            ranks,
+            switch_trace=switch_trace,
+            wake_list=resolved.sched_wake_list,
+        )
+        world.scheduler = loop
         values = loop.run(world, fn, args)
         world.sched_switches = loop.switches
         err = loop.first_error()
         if err is not None:
             raise err
         return SpmdResult(values=values, world=world)
-    sched = CooperativeScheduler(ranks, switch_trace=switch_trace)
+    sched = CooperativeScheduler(
+        ranks,
+        switch_trace=switch_trace,
+        wake_list=resolved.sched_wake_list,
+    )
+    world.scheduler = sched
     results: list[Any] = [None] * ranks
     threads: list[threading.Thread] = []
 

@@ -25,6 +25,20 @@ blocked ranks' predicates (safe, because only the current owner of control
 touches shared state).  If no rank is runnable and no predicate is true,
 the job is hung: a :class:`~repro.errors.DeadlockError` is raised in every
 blocked rank, mirroring a wedged SPMD job.
+
+Wake lists (``FeatureFlags.sched_wake_list``, default on) replace that
+per-switch predicate scan with event-driven notification: a blocking
+construct that can name its wake event passes a *wake key* alongside the
+predicate (see :class:`~repro.runtime.switchpoints.BlockUntil`), the
+completion sites (cell fulfillment, conduit inbox pushes, barrier epoch
+advance) set a per-rank wake bit, and :meth:`SchedulerCore._pick_next`
+promotes exactly the ranks whose bits are set — no predicate is evaluated.
+The promotion set and the ring-order pick are provably identical to the
+scan's (DESIGN.md §11 has the argument); any rank that blocks *without* a
+key drops the whole scheduler back to the predicate scan until it wakes,
+so exotic ``BlockUntil`` uses keep their exact legacy semantics and the
+scan stays available as the differential oracle
+(``sched_wake_list=False``).
 """
 
 from __future__ import annotations
@@ -53,9 +67,19 @@ class SchedulerCore:
         the same semantic points, so two runs of the same program produce
         equal traces iff they scheduled identically — the parity tests'
         measurement device.  ``None`` (the default) records nothing.
+    wake_list:
+        Use event-driven wake lists for keyed blocks (the default); False
+        forces the legacy per-switch predicate scan for everything — the
+        differential oracle the parity/fuzz tests diff against.
     """
 
-    def __init__(self, nranks: int, switch_trace: Optional[list] = None):
+    def __init__(
+        self,
+        nranks: int,
+        switch_trace: Optional[list] = None,
+        *,
+        wake_list: bool = True,
+    ):
         if nranks < 1:
             raise ValueError("need at least one rank")
         self.nranks = nranks
@@ -72,6 +96,31 @@ class SchedulerCore:
         self._switch_trace = switch_trace
         #: control transfers between *distinct* ranks (bench: switches/sec)
         self.switches = 0
+        # -- wake-list state (all bitmasks are over rank numbers) ----------
+        self._wake_list = wake_list
+        #: bit r set ⇔ ``_states[r] is _READY`` (maintained at every state
+        #: transition; the masked pick reads it with two shifts)
+        self._ready_mask = (1 << nranks) - 1
+        #: blocked ranks whose registered wake event has fired (subset of
+        #: ``_keyed_mask``) — the promotion set of the next masked pick
+        self._wake_mask = 0
+        #: blocked ranks that registered a recognized wake key
+        self._keyed_mask = 0
+        #: keyed blocked ranks woken by an incoming AM / pending progress
+        #: work (every recognized key includes ``ctx.has_incoming()``)
+        self._incoming_waiters = 0
+        #: keyed blocked ranks woken by the barrier epoch advancing
+        self._epoch_waiters = 0
+        #: count of blocked ranks *without* a key: while nonzero the pick
+        #: falls back to the legacy predicate scan (exotic BlockUntil uses
+        #: keep their exact semantics; with ``wake_list=False`` every
+        #: block counts here, making the scan unconditional)
+        self._unkeyed = 0
+        #: per-rank blocking-episode counter: a cell callback registered in
+        #: an earlier episode compares its captured generation against this
+        #: and does nothing when stale (the rank was woken by another event
+        #: and has moved on — possibly blocking again on a different cell)
+        self._wake_gen = [0] * nranks
 
     # -- driver API ---------------------------------------------------------
 
@@ -103,6 +152,68 @@ class SchedulerCore:
             + ")"
         )
 
+    # -- wake-list internals -------------------------------------------------
+
+    def _enter_blocked(self, rank: int, pred, wake) -> None:
+        """Record ``rank`` as blocked; register its wake key (or count it
+        unkeyed, which pins the pick to the legacy scan until it wakes)."""
+        self._states[rank] = _BLOCKED
+        self._preds[rank] = pred
+        self._blocked += 1
+        bit = 1 << rank
+        self._ready_mask &= ~bit
+        if not self._wake_list or wake is None:
+            self._unkeyed += 1
+            return
+        kind = wake[0]
+        if kind == "cell":
+            self._keyed_mask |= bit
+            self._incoming_waiters |= bit
+            self._wake_gen[rank] += 1
+            gen = self._wake_gen[rank]
+            # the cell was observed non-ready just before this block, so
+            # the callback always parks (never fires inline here)
+            wake[1].add_callback(
+                lambda _vals, r=rank, g=gen: self._cell_wake(r, g)
+            )
+        elif kind == "epoch":
+            self._keyed_mask |= bit
+            self._incoming_waiters |= bit
+            self._epoch_waiters |= bit
+        else:
+            self._unkeyed += 1
+
+    def _unregister_wake(self, rank: int) -> None:
+        """Drop ``rank``'s wake registration — called on every transition
+        out of ``_BLOCKED`` (promotion, teardown wake, failure)."""
+        bit = 1 << rank
+        if self._keyed_mask & bit:
+            self._keyed_mask &= ~bit
+            self._incoming_waiters &= ~bit
+            self._epoch_waiters &= ~bit
+            self._wake_mask &= ~bit
+            self._wake_gen[rank] += 1
+        else:
+            self._unkeyed -= 1
+
+    def _cell_wake(self, rank: int, gen: int) -> None:
+        """A cell this rank blocked on became ready (stale-guarded)."""
+        if self._wake_gen[rank] == gen:
+            bit = 1 << rank
+            if self._keyed_mask & bit:
+                self._wake_mask |= bit
+
+    def notify_incoming(self, rank: int) -> None:
+        """An AM was pushed to ``rank``'s inbox: wake it if it is parked
+        on any recognized key (every key includes ``has_incoming()``)."""
+        bit = 1 << rank
+        if self._incoming_waiters & bit:
+            self._wake_mask |= bit
+
+    def notify_barrier_epoch(self) -> None:
+        """The barrier epoch advanced: wake every parked barrier waiter."""
+        self._wake_mask |= self._epoch_waiters
+
     def _pick_next(self, me: int, *, include_self: bool) -> Optional[int]:
         """Choose the next rank to run, scanning round-robin from ``me+1``.
 
@@ -112,46 +223,84 @@ class SchedulerCore:
         that is ready once its visit's promotion has been applied.
         Returns ``None`` when no rank can make progress.
 
-        The scan walks ring indices with modular arithmetic — no per-switch
-        list allocation — and evaluates predicates in exactly the ascending
-        ring-distance order of the original two-pass implementation, so
-        promotions and the final pick are unchanged.
+        With wake lists on and every blocked rank keyed, the promotion set
+        is exactly the fired wake bits and the pick is two mask shifts —
+        no predicate runs, O(set bits) instead of O(n).  The result is
+        identical to the scan's: a keyed rank's wake bit is set iff its
+        predicate is true (the events are monotone while the rank is
+        parked and every mutation site notifies — DESIGN.md §11), and both
+        paths pick the minimum ring distance over ready ∪ promoted.
+        Any unkeyed blocked rank forces the legacy scan, which evaluates
+        predicates in exactly the ascending ring-distance order of the
+        original two-pass implementation, so promotions and the final pick
+        are unchanged.
         """
         n = self.nranks
         states = self._states
         preds = self._preds
         first: Optional[int] = None
-        # ring distances 1..n-1 visit every other rank; distance n is `me`
-        # itself, visited (last) only when the caller may self-resume
-        stop = n + 1 if include_self else n
-        if self._blocked == 0:
-            # nothing to promote: the pick is simply the first ready rank
-            # in ring order, and the scan can stop there.  Same result as
-            # the full scan (whose promotion pass would be a no-op), but
-            # O(1) instead of O(n) in the switch-dense common case.
-            for i in range(1, stop):
-                r = me + i
-                if r >= n:
-                    r -= n
-                if states[r] is _READY:
-                    first = r
-                    break
+        if self._wake_list and self._unkeyed == 0:
+            wake = self._wake_mask
+            if wake:
+                # promote every woken rank (not just the eventual pick —
+                # later switch points depend on full promotion)
+                while wake:
+                    low = wake & -wake
+                    r = low.bit_length() - 1
+                    wake &= wake - 1
+                    states[r] = _READY
+                    preds[r] = None
+                    self._blocked -= 1
+                    self._unregister_wake(r)
+                    self._ready_mask |= low
+            ready = self._ready_mask
+            # ring order from me+1: ranks above me, then below, then (only
+            # when the caller may self-resume) me itself
+            hi = ready >> (me + 1)
+            if hi:
+                first = me + 1 + ((hi & -hi).bit_length() - 1)
+            else:
+                lo = ready & ((1 << me) - 1)
+                if lo:
+                    first = (lo & -lo).bit_length() - 1
+                elif include_self and (ready >> me) & 1:
+                    first = me
         else:
-            for i in range(1, stop):
-                r = me + i
-                if r >= n:
-                    r -= n
-                st = states[r]
-                if st is _BLOCKED:
-                    pred = preds[r]
-                    if pred is not None and pred():
-                        states[r] = _READY
-                        preds[r] = None
-                        self._blocked -= 1
-                        if first is None:
-                            first = r
-                elif st is _READY and first is None:
-                    first = r
+            # ring distances 1..n-1 visit every other rank; distance n is
+            # `me` itself, visited (last) only when the caller may
+            # self-resume
+            stop = n + 1 if include_self else n
+            if self._blocked == 0:
+                # nothing to promote: the pick is simply the first ready
+                # rank in ring order, and the scan can stop there.  Same
+                # result as the full scan (whose promotion pass would be a
+                # no-op), but O(1) instead of O(n) in the switch-dense
+                # common case.
+                for i in range(1, stop):
+                    r = me + i
+                    if r >= n:
+                        r -= n
+                    if states[r] is _READY:
+                        first = r
+                        break
+            else:
+                for i in range(1, stop):
+                    r = me + i
+                    if r >= n:
+                        r -= n
+                    st = states[r]
+                    if st is _BLOCKED:
+                        pred = preds[r]
+                        if pred is not None and pred():
+                            states[r] = _READY
+                            preds[r] = None
+                            self._blocked -= 1
+                            self._unregister_wake(r)
+                            self._ready_mask |= 1 << r
+                            if first is None:
+                                first = r
+                    elif st is _READY and first is None:
+                        first = r
         if self._switch_trace is not None:
             self._switch_trace.append(("pick", me, first))
         return first
@@ -166,8 +315,14 @@ class CooperativeScheduler(SchedulerCore):
     :meth:`first_error` to re-raise any rank failure.
     """
 
-    def __init__(self, nranks: int, switch_trace: Optional[list] = None):
-        super().__init__(nranks, switch_trace)
+    def __init__(
+        self,
+        nranks: int,
+        switch_trace: Optional[list] = None,
+        *,
+        wake_list: bool = True,
+    ):
+        super().__init__(nranks, switch_trace, wake_list=wake_list)
         self._tokens = [threading.Event() for _ in range(nranks)]
         self._threads: list[Optional[threading.Thread]] = [None] * nranks
 
@@ -199,22 +354,28 @@ class CooperativeScheduler(SchedulerCore):
         self._tokens[nxt].set()
         self.wait_for_token(rank)
 
-    def block_until(self, rank: int, wake_when: Callable[[], bool]) -> None:
+    def block_until(
+        self,
+        rank: int,
+        wake_when: Callable[[], bool],
+        wake: Optional[tuple] = None,
+    ) -> None:
         """Block ``rank`` until ``wake_when()`` is true.
 
         The predicate is evaluated once immediately; if already true the
         call returns without switching.  Otherwise the token passes to the
         next runnable rank and this thread sleeps until the scheduler finds
-        the predicate true at a later switch point.
+        the predicate true at a later switch point.  ``wake`` optionally
+        names the event that turns the predicate true (see
+        :class:`~repro.runtime.switchpoints.BlockUntil`), letting the
+        wake-list pick skip predicate evaluation entirely.
         """
         self._check_owner(rank)
         if wake_when():
             return
         if self._switch_trace is not None:
             self._switch_trace.append(("block", rank))
-        self._states[rank] = _BLOCKED
-        self._preds[rank] = wake_when
-        self._blocked += 1
+        self._enter_blocked(rank, wake_when, wake)
         nxt = self._pick_next(rank, include_self=True)
         if nxt == rank:
             # our own predicate turned true during the scan (it may depend
@@ -234,7 +395,9 @@ class CooperativeScheduler(SchedulerCore):
         # matters on paths that wake without promotion
         if self._states[rank] is _BLOCKED:
             self._blocked -= 1
+            self._unregister_wake(rank)
         self._states[rank] = _READY
+        self._ready_mask |= 1 << rank
         self._preds[rank] = None
 
     def finish(self, rank: int) -> None:
@@ -243,6 +406,7 @@ class CooperativeScheduler(SchedulerCore):
         if self._switch_trace is not None:
             self._switch_trace.append(("finish", rank))
         self._states[rank] = _DONE
+        self._ready_mask &= ~(1 << rank)
         self._preds[rank] = None
         nxt = self._pick_next(rank, include_self=False)
         if nxt is not None:
@@ -260,7 +424,9 @@ class CooperativeScheduler(SchedulerCore):
             # a teardown error thrown out of wait_for_token propagates out
             # of block_until without running its post-wake bookkeeping
             self._blocked -= 1
+            self._unregister_wake(rank)
         self._states[rank] = _DONE
+        self._ready_mask &= ~(1 << rank)
         self._preds[rank] = None
         for r, tok in enumerate(self._tokens):
             if r != rank:

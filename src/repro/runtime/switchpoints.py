@@ -38,12 +38,27 @@ class BlockUntil(SwitchCommand):
     Mirrors :meth:`RankContext.block_until`: the predicate is evaluated
     once immediately (no switch if already true), then re-evaluated by the
     scheduler's round-robin scan until it holds.
+
+    ``wake`` optionally names the event(s) that can turn the predicate
+    true, so the scheduler can park the rank on a wake list instead of
+    re-evaluating the predicate on every switch (see
+    :class:`~repro.runtime.scheduler.SchedulerCore`).  Recognized keys:
+
+    * ``("cell", cell)`` — the predicate is
+      ``cell.ready or ctx.has_incoming()``;
+    * ``("epoch",)`` — the predicate is
+      ``barrier epoch advanced or ctx.has_incoming()``.
+
+    ``None`` (the default) keeps the legacy predicate-scan behaviour; any
+    blocking site whose wake condition is not exactly one of the shapes
+    above must leave it ``None``.
     """
 
-    __slots__ = ("wake_when",)
+    __slots__ = ("wake_when", "wake")
 
-    def __init__(self, wake_when: Callable[[], bool]):
+    def __init__(self, wake_when: Callable[[], bool], wake: tuple = None):
         self.wake_when = wake_when
+        self.wake = wake
 
 
 class YieldNow(SwitchCommand):
@@ -72,7 +87,7 @@ def run_blocking(ctx, gen):
         while True:
             try:
                 if type(cmd) is BlockUntil:
-                    ctx.block_until(cmd.wake_when)
+                    ctx.block_until(cmd.wake_when, cmd.wake)
                 elif type(cmd) is YieldNow:
                     ctx.yield_to_others()
                 else:

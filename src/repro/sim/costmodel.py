@@ -39,9 +39,13 @@ try:  # numpy backs the batched-count reduction; optional otherwise
 except ImportError:  # pragma: no cover - numpy is in the standard image
     _np = None
 
+from repro.sim.clock import UNITS_PER_NS
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.clock import VirtualClock
     from repro.sim.machines import MachineProfile
+
+_INV_UNITS = 1.0 / UNITS_PER_NS
 
 
 class CostAction(enum.Enum):
@@ -137,7 +141,7 @@ _ACTION_INDEX: dict[CostAction, int] = {a: i for i, a in enumerate(_ACTIONS)}
 
 
 class CostModel:
-    """Charges :class:`CostAction` costs onto a rank's virtual clock.
+    r"""Charges :class:`CostAction` costs onto a rank's virtual clock.
 
     Parameters
     ----------
@@ -152,25 +156,30 @@ class CostModel:
     Counting is always on (it is just a ``Counter`` update); it is what lets
     tests make structural assertions independent of the tuned constants.
 
-    Per-action costs are precomputed into a flat dict at construction
-    (including the ``NETWORK_LATENCY`` special case), so the default charge
-    path pays one dict lookup instead of a method call — the float sequence
-    is unchanged, so results stay bit-identical.
+    Per-action costs are precomputed at construction into two flat dicts —
+    exact integer clock units (the profile quantizes every cost to the
+    2\ :sup:`-20` ns grid, see :meth:`MachineProfile.cost_ns`) and their
+    float-nanosecond images — so the default charge path pays one dict
+    lookup and one integer clock add instead of a method call and a float
+    round-trip.
 
     With :meth:`enable_batching` (``FeatureFlags.cost_batching``) charges
-    accumulate into a pending-nanoseconds scalar and a dense per-action
+    accumulate into a pending-units integer scalar and a dense per-action
     count list instead of touching the clock/Counter per call; the clock's
-    flush hook folds pending time in before any timestamp read, and the
-    counts merge lazily on :meth:`count`/:meth:`snapshot`.  Summing before
-    advancing reassociates float additions, so batched clocks can differ
-    from the default by ULPs — which is why batching is opt-in and excluded
-    from the scheduler substrates' bit-identity guarantee.
+    flush hook folds pending units in before any timestamp read, and the
+    counts merge lazily on :meth:`count`/:meth:`snapshot`.  Because the
+    accumulator is an integer sum of exact integer charges, batching is
+    **bit-identical** to per-charge advancing — integer addition is
+    associative, so reordering the folds cannot change the result.  The
+    only remaining incompatibility is timing noise, whose jitter must be
+    drawn per charge.
     """
 
     __slots__ = (
         "profile", "clock", "counts", "enabled", "tracer", "_ctx",
         "noise", "noise_rng", "noise_run_factor",
-        "_cost_ns", "_batching", "_pending_ns", "_batch_counts",
+        "_cost_ns", "_cost_units", "_batching", "_pending_units",
+        "_batch_counts",
     )
 
     def __init__(self, profile: "MachineProfile", clock: "VirtualClock"):
@@ -178,13 +187,19 @@ class CostModel:
         self.clock = clock
         self.counts: Counter[CostAction] = Counter()
         self.enabled: bool = True
-        #: precomputed action -> nanoseconds (resolves the profile's
-        #: NETWORK_LATENCY special case once, at construction)
+        #: precomputed action -> integer clock units (resolves the
+        #: profile's NETWORK_LATENCY special case once, at construction;
+        #: exact because the profile quantizes to the unit grid)
+        self._cost_units: dict[CostAction, int] = {
+            a: round(profile.cost_ns(a) * UNITS_PER_NS) for a in _ACTIONS
+        }
+        #: the float-nanosecond image of ``_cost_units`` (exact — the grid
+        #: is dyadic), used for charge return values and the noise path
         self._cost_ns: dict[CostAction, float] = {
-            a: profile.cost_ns(a) for a in _ACTIONS
+            a: u * _INV_UNITS for a, u in self._cost_units.items()
         }
         self._batching: bool = False
-        self._pending_ns: float = 0.0
+        self._pending_units: int = 0
         self._batch_counts: list[int] = [0] * len(_ACTIONS)
         #: optional repro.sim.trace.Tracer recording the event timeline
         self.tracer = None
@@ -213,21 +228,26 @@ class CostModel:
             return 0.0
         if self._batching:
             self._batch_counts[_ACTION_INDEX[action]] += times
-            ns = self._cost_ns[action] * times
+            units = self._cost_units[action] * times
+            if units:
+                self._pending_units += units
+            if self.tracer is not None and self._ctx is not None:
+                self.tracer.record(self._ctx, action, times)
+            return units * _INV_UNITS
+        self.counts[action] += times
+        if self.noise:
+            ns = self._jitter(self._cost_ns[action] * times)
             if ns:
-                self._pending_ns += ns
+                self.clock.advance(ns)
             if self.tracer is not None and self._ctx is not None:
                 self.tracer.record(self._ctx, action, times)
             return ns
-        self.counts[action] += times
-        ns = self._cost_ns[action] * times
-        if self.noise:
-            ns = self._jitter(ns)
-        if ns:
-            self.clock.advance(ns)
+        units = self._cost_units[action] * times
+        if units:
+            self.clock.advance_units(units)
         if self.tracer is not None and self._ctx is not None:
             self.tracer.record(self._ctx, action, times)
-        return ns
+        return units * _INV_UNITS
 
     def charge_bytes(self, action: CostAction, nbytes: int) -> float:
         """Charge a per-byte action scaled by ``nbytes``."""
@@ -235,32 +255,39 @@ class CostModel:
             return 0.0
         if self._batching:
             self._batch_counts[_ACTION_INDEX[action]] += 1
-            ns = self._cost_ns[action] * nbytes
+            units = self._cost_units[action] * nbytes
+            if units:
+                self._pending_units += units
+            if self.tracer is not None and self._ctx is not None:
+                self.tracer.record(self._ctx, action, 1)
+            return units * _INV_UNITS
+        self.counts[action] += 1
+        if self.noise:
+            ns = self._jitter(self._cost_ns[action] * nbytes)
             if ns:
-                self._pending_ns += ns
+                self.clock.advance(ns)
             if self.tracer is not None and self._ctx is not None:
                 self.tracer.record(self._ctx, action, 1)
             return ns
-        self.counts[action] += 1
-        ns = self._cost_ns[action] * nbytes
-        if self.noise:
-            ns = self._jitter(ns)
-        if ns:
-            self.clock.advance(ns)
+        units = self._cost_units[action] * nbytes
+        if units:
+            self.clock.advance_units(units)
         if self.tracer is not None and self._ctx is not None:
             self.tracer.record(self._ctx, action, 1)
-        return ns
+        return units * _INV_UNITS
 
     # -- batched mode --------------------------------------------------------
 
     def enable_batching(self) -> None:
         """Switch to accumulator mode (``FeatureFlags.cost_batching``).
 
-        Charges park nanoseconds in :attr:`_pending_ns` and counts in the
-        dense :attr:`_batch_counts` list; the clock's flush hook folds the
-        pending time in before any timestamp is observed.  Incompatible
-        with timing noise: jitter must be drawn per charge, which is the
-        per-charge work batching removes.
+        Charges park integer clock units in :attr:`_pending_units` and
+        counts in the dense :attr:`_batch_counts` list; the clock's flush
+        hook folds the pending units in before any timestamp is observed.
+        Bit-identical to per-charge advancing (integer sums are
+        order-independent).  Incompatible with timing noise: jitter must
+        be drawn per charge, which is the per-charge work batching
+        removes.
         """
         if self.noise:
             raise ValueError(
@@ -271,12 +298,12 @@ class CostModel:
         self.clock._flush_hook = self._flush_pending
 
     def _flush_pending(self) -> None:
-        """Fold accumulated pending nanoseconds into the clock (installed
-        as the clock's flush hook; runs before any ``now_ns`` read)."""
-        ns = self._pending_ns
-        if ns:
-            self._pending_ns = 0.0
-            self.clock._now_ns += ns
+        """Fold accumulated pending units into the clock (installed as
+        the clock's flush hook; runs before any ``now_ns`` read)."""
+        units = self._pending_units
+        if units:
+            self._pending_units = 0
+            self.clock._units += units
 
     def _merge_batched_counts(self) -> None:
         """Fold the dense batched count list into the ``counts`` Counter."""

@@ -67,10 +67,23 @@ class MachineProfile:
     costs_ns: dict[CostAction, float] = field(default_factory=dict)
 
     def cost_ns(self, action: CostAction) -> float:
-        """Cost of one occurrence of ``action`` (0.0 if unlisted)."""
+        """Cost of one occurrence of ``action`` (0.0 if unlisted).
+
+        The returned value is quantized to the virtual clock's fixed-point
+        grid (:data:`repro.sim.clock.UNITS_PER_NS` units per nanosecond,
+        a power of two), so every charge is an exact integer number of
+        clock units.  That exactness is what makes batched cost
+        accumulation (``FeatureFlags.cost_batching``) bit-identical to
+        per-charge advancing: integer addition is associative.  The grid
+        is ~1e-6 ns, far below any modeled cost, so the calibrated shape
+        claims are untouched; dyadic table entries (the common case) pass
+        through unchanged.
+        """
         if action is CostAction.NETWORK_LATENCY:
-            return self.network_latency_ns
-        return self.costs_ns.get(action, 0.0)
+            v = self.network_latency_ns
+        else:
+            v = self.costs_ns.get(action, 0.0)
+        return round(v * 1048576) / 1048576.0
 
     def with_costs(self, **overrides: float) -> "MachineProfile":
         """A copy of this profile with named cost overrides.

@@ -1,16 +1,20 @@
 """Tests for the distributed hash table application."""
 
+import dataclasses
+
 import pytest
 
 from repro import barrier, rank_me
 from repro.apps.dht import (
     DhtConfig,
     DistributedHashMap,
+    _dht_body,
+    _dht_body_gen,
     _mix,
     run_dht,
 )
 from repro.errors import UpcxxError
-from repro.runtime.config import Version
+from repro.runtime.config import Version, flags_for
 from repro.runtime.runtime import spmd_run
 from tests.conftest import ALL_VERSIONS
 
@@ -123,3 +127,51 @@ class TestShapes:
                 DhtConfig(log2_slots=6, inserts_per_rank=32),
                 ranks=4,
             )
+
+
+class TestContinuationParity:
+    """The generator-ported body must be observably identical to the
+    thread-shim (blocking-wrapper) body: same results, same per-rank
+    virtual clocks, same scheduler switch count, same switch trace."""
+
+    CFG = DhtConfig(log2_slots=9, inserts_per_rank=16, finds_per_rank=16)
+
+    def _run(self, body, *, event_loop):
+        flags = dataclasses.replace(
+            flags_for(Version.V2021_3_6_EAGER),
+            sched_event_loop=event_loop,
+        )
+        trace = []
+        res = spmd_run(
+            body, args=(self.CFG,), ranks=4, machine="generic",
+            seed=self.CFG.seed, segment_bytes=1 << 17, flags=flags,
+            switch_trace=trace,
+        )
+        clocks = tuple(c.clock.now_ns for c in res.world.contexts)
+        return res.values, clocks, res.world.sched_switches, trace
+
+    @pytest.mark.parametrize("event_loop", [False, True])
+    def test_generator_body_matches_blocking_body(self, event_loop):
+        gen = self._run(_dht_body_gen, event_loop=event_loop)
+        blk = self._run(lambda c: _dht_body(c), event_loop=event_loop)
+        assert gen == blk
+        assert gen[2] > 0
+
+    def test_substrates_agree_on_generator_body(self):
+        ev = self._run(_dht_body_gen, event_loop=True)
+        th = self._run(_dht_body_gen, event_loop=False)
+        assert ev == th
+
+    @pytest.mark.parametrize("version", ALL_VERSIONS)
+    def test_run_dht_results_identical(self, version):
+        a = run_dht(
+            self.CFG, ranks=4, version=version, machine="generic",
+            continuation=True,
+        )
+        b = run_dht(
+            self.CFG, ranks=4, version=version, machine="generic",
+            continuation=False,
+        )
+        assert a.correct and b.correct
+        assert a.solve_ns == b.solve_ns
+        assert a.ops == b.ops

@@ -158,3 +158,69 @@ class TestMatrix:
                 # without one every hinted code path is dead
                 assert hinted.solve_ns == base.solve_ns, (version, on)
                 assert hinted.am_injects == base.am_injects, (version, on)
+
+
+# Scheduler-mechanism axes: ``sched_wake_list`` and ``cost_batching`` are
+# pure implementation strategies — toggling either must be bit-identical
+# on *every* observable (timing included), unlike the semantic axes above
+# where only checksums are pinned.  Swept against a smaller base matrix
+# (the three flags that most reshape scheduling/progress behavior, on
+# both scheduler substrates) to keep the run count reasonable.
+MECH_BASE_AXES = (
+    "am_aggregation",
+    "progress_adaptive",
+    "wait_hints",
+    "sched_event_loop",
+)
+
+
+class TestMechanismFlagsBitIdentical:
+    @pytest.fixture(scope="class")
+    def mech_matrix(self):
+        """(version, on-set, variant) -> result, where variant is
+        ``base`` (defaults: wake list + batching on), ``scan``
+        (sched_wake_list off), or ``unbatched`` (cost_batching off)."""
+        results = {}
+        variants = {
+            "base": {},
+            "scan": {"sched_wake_list": False},
+            "unbatched": {"cost_batching": False},
+        }
+        for version in (VE, VD):
+            for bits in itertools.product(
+                (False, True), repeat=len(MECH_BASE_AXES)
+            ):
+                on = {
+                    name for name, bit in zip(MECH_BASE_AXES, bits) if bit
+                }
+                for vname, overrides in variants.items():
+                    flags = flags_for(version).replace(
+                        **{name: True for name in on}, **overrides
+                    )
+                    results[(version, frozenset(on), vname)] = run_gups(
+                        CFG,
+                        ranks=4,
+                        n_nodes=2,
+                        conduit="udp",
+                        version=version,
+                        machine="generic",
+                        flags=flags,
+                    )
+        return results
+
+    def _assert_identical(self, mech_matrix, variant):
+        for (version, on, vname), res in mech_matrix.items():
+            if vname != "base":
+                continue
+            other = mech_matrix[(version, on, variant)]
+            key = (version, sorted(on))
+            assert other.solve_ns == res.solve_ns, key
+            assert other.checksum == res.checksum, key
+            assert other.am_injects == res.am_injects, key
+            assert other.progress_polls == res.progress_polls, key
+
+    def test_wake_list_bit_identical(self, mech_matrix):
+        self._assert_identical(mech_matrix, "scan")
+
+    def test_cost_batching_bit_identical(self, mech_matrix):
+        self._assert_identical(mech_matrix, "unbatched")

@@ -1,17 +1,22 @@
 """Tests for the distributed half-approximate matching application."""
 
+import dataclasses
+
 import pytest
 
 from repro.apps.graphs import GRAPH_NAMES, Graph, make_graph
 from repro.apps.matching import (
     MatchingConfig,
+    _matching_body,
+    _matching_body_gen,
     matching_weight,
     pack_msg,
     run_matching,
     serial_matching,
     unpack_msg,
 )
-from repro.runtime.config import Version
+from repro.runtime.config import Version, flags_for
+from repro.runtime.runtime import spmd_run
 from tests.conftest import ALL_VERSIONS
 
 
@@ -142,3 +147,56 @@ class TestPaperShape:
             speedups[name] = td / te - 1
         assert speedups["youtube"] > speedups["channel"]
         assert speedups["channel"] >= -0.01  # eager never hurts
+
+
+class TestContinuationParity:
+    """Generator-ported solver vs thread-shim wrapper: identical mates,
+    per-rank virtual clocks, scheduler switch counts, and switch traces
+    on both substrates."""
+
+    def _run(self, body, *, event_loop):
+        cfg = MatchingConfig(graph="random", scale=1)
+        g = cfg.build_graph()
+        flags = dataclasses.replace(
+            flags_for(Version.V2021_3_6_EAGER),
+            sched_event_loop=event_loop,
+        )
+        trace = []
+        res = spmd_run(
+            body, args=(g, cfg), ranks=4, machine="generic",
+            conduit="mpi", seed=cfg.seed, segment_bytes=1 << 20,
+            flags=flags, switch_trace=trace,
+        )
+        clocks = tuple(c.clock.now_ns for c in res.world.contexts)
+        return res.values, clocks, res.world.sched_switches, trace
+
+    @pytest.mark.parametrize("event_loop", [False, True])
+    def test_generator_body_matches_blocking_body(self, event_loop):
+        gen = self._run(_matching_body_gen, event_loop=event_loop)
+        blk = self._run(
+            lambda gg, cc: _matching_body(gg, cc), event_loop=event_loop
+        )
+        assert gen == blk
+        assert gen[2] > 0
+
+    def test_substrates_agree_on_generator_body(self):
+        ev = self._run(_matching_body_gen, event_loop=True)
+        th = self._run(_matching_body_gen, event_loop=False)
+        assert ev == th
+
+    @pytest.mark.parametrize("version", ALL_VERSIONS)
+    def test_run_matching_results_identical(self, version):
+        cfg = MatchingConfig(graph="channel", scale=1)
+        g = cfg.build_graph()
+        a = run_matching(
+            cfg, ranks=4, version=version, graph=g, machine="generic",
+            continuation=True,
+        )
+        b = run_matching(
+            cfg, ranks=4, version=version, graph=g, machine="generic",
+            continuation=False,
+        )
+        assert a.mate == b.mate == serial_matching(g)
+        assert a.solve_ns == b.solve_ns
+        assert a.rounds == b.rounds
+        assert a.cross_messages == b.cross_messages

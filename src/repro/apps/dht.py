@@ -142,6 +142,37 @@ class DistributedHashMap:
         over :meth:`find_gen`)."""
         return run_blocking(self.ctx, self.find_gen(key))
 
+    def cas_gen(self, key: int, expected: int, desired: int):
+        """Generator form of :meth:`cas`: atomically replace ``key``'s
+        value with ``desired`` iff it currently equals ``expected``.
+
+        Returns the value observed by the compare-exchange (``expected``
+        on success, the competing value on failure), or ``None`` when the
+        key is absent.  This is the serving workload's read-modify-write
+        request: one probe chain of ``rget`` s to locate the slot, then a
+        single ``compare_exchange`` on the value word.
+        """
+        if key == _EMPTY:
+            raise UpcxxError("key 0 is reserved (EMPTY)")
+        slot = self._home_slot(key)
+        for _ in range(self.n_slots):
+            kptr, vptr = self._slot_ptrs(slot)
+            k = yield from rget(kptr).wait_gen()
+            if k == _EMPTY:
+                return None
+            if k == key:
+                return (
+                    yield from self.ad.compare_exchange(
+                        vptr, expected, desired
+                    ).wait_gen()
+                )
+            slot = (slot + 1) & (self.n_slots - 1)
+        return None
+
+    def cas(self, key: int, expected: int, desired: int):
+        """Blocking wrapper over :meth:`cas_gen`."""
+        return run_blocking(self.ctx, self.cas_gen(key, expected, desired))
+
     def local_items(self) -> dict[int, int]:
         """Key→value pairs stored in this rank's slice."""
         view = self.ctx.segment.view_array(

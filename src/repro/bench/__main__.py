@@ -9,6 +9,7 @@ Reproduces any of the paper's figures without pytest:
     python -m repro.bench matching --ranks 16 --scale 3
     python -m repro.bench offnode
     python -m repro.bench sched --out BENCH_sched.json
+    python -m repro.bench serve --out BENCH_serve.json
     python -m repro.bench all
     python -m repro.bench trace --variant rma_future --out gups.trace.json
 """
@@ -155,6 +156,30 @@ def cmd_sched(args) -> None:
     print(f"wrote {args.out}")
 
 
+def cmd_serve(args) -> None:
+    from repro.bench.report import format_serve_report
+    from repro.bench.servebench import validate_serve_doc, write_serve_bench
+
+    doc = write_serve_bench(
+        args.out, quick=args.quick, progress=lambda m: print(m, flush=True)
+    )
+    errors = validate_serve_doc(doc)
+    if errors:
+        raise SystemExit(
+            "serve artifact failed schema validation:\n  "
+            + "\n  ".join(errors)
+        )
+    print()
+    print(
+        format_serve_report(
+            "Open-loop DHT serving: total latency vs offered rate "
+            "[virtual ns]",
+            doc,
+        )
+    )
+    print(f"\nwrote {args.out} (schema valid)")
+
+
 def cmd_all(args) -> None:
     for machine in ("intel", "ibm", "marvell"):
         args.machine = machine
@@ -260,6 +285,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="small sweep for CI smoke (seconds instead of minutes)",
     )
     p.set_defaults(fn=cmd_sched)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop DHT serving saturation sweep "
+        "-> BENCH_serve.json",
+    )
+    p.add_argument(
+        "--out", default="BENCH_serve.json",
+        help="artifact path (default: BENCH_serve.json in the cwd)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small sweep for CI smoke (identical workload, fewer "
+        "rates/configs)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("all", help="every figure, default parameters")
     common(p)

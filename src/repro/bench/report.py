@@ -299,14 +299,15 @@ def format_notification_report(title: str, stats) -> str:
     lines.append("notification gap (transfer-complete -> dispatched), ns:")
     header = (
         f"  {'mode':>6} {'locality':>8} {'count':>7} {'zero-gap':>8} "
-        f"{'mean ns':>9} {'max ns':>9}"
+        f"{'mean ns':>9} {'p99 ns':>9} {'max ns':>9}"
     )
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
     for (mode, locality), gap in stats.gaps.items():
         lines.append(
             f"  {mode:>6} {locality:>8} {gap.count:7d} {gap.zeros:8d} "
-            f"{gap.mean_ns:9.1f} {(gap.hist.max or 0.0):9.1f}"
+            f"{gap.mean_ns:9.1f} {gap.hist.quantile(0.99):9.1f} "
+            f"{(gap.hist.max or 0.0):9.1f}"
         )
     for (mode, locality), gap in stats.gaps.items():
         lines.append("")
@@ -406,3 +407,50 @@ def format_progress_report(title: str, stats) -> str:
         ["control decisions", str(stats.decisions)],
     ]
     return format_table(title, ["metric", "value"], rows)
+
+
+def format_serve_report(title: str, doc: dict) -> str:
+    """Render a ``BENCH_serve.json`` document as the saturation figure:
+    one row per (configuration, offered rate) with mean/p50/p99/p999
+    total latency, a knee marker at each configuration's p99 knee rate,
+    and the headline mean-vs-p999 inversion witnesses."""
+    knees = doc["headline"]["knee_rate_rps_by_config"]
+    rows = []
+    for row in doc["sweep"]["rows"]:
+        total = row["phases"]["total"]
+        name = row["config"]
+        rate = row["offered_rate_rps"]
+        marker = " <- knee" if knees.get(name) == rate else ""
+        rows.append([
+            name,
+            f"{rate / 1e6:.2f}M",
+            f"{total['mean_ns']:.0f}",
+            f"{total['p50_ns']:.0f}",
+            f"{total['p99_ns']:.0f}",
+            f"{total['p999_ns']:.0f}",
+            f"{row['slo_miss_frac'] * 100:.1f}%{marker}",
+        ])
+    out = [format_table(
+        title,
+        ["config", "rate", "mean ns", "p50 ns", "p99 ns", "p999 ns", "slo miss"],
+        rows,
+    )]
+    inversions = doc["headline"]["inversions"]
+    if inversions:
+        out.append("")
+        out.append("mean-vs-p999 ranking inversions (the tail-SLO trap):")
+        for inv in inversions:
+            a, b = inv["pair"]
+            out.append(
+                f"  @{inv['offered_rate_rps'] / 1e6:.2f}M rps: "
+                f"{inv['mean_winner']} wins mean, "
+                f"{inv['p999_winner']} wins p999  [{a} vs {b}]"
+            )
+    ratio = doc["headline"].get("eager_over_defer_knee")
+    if ratio is not None:
+        out.append("")
+        out.append(
+            f"eager sustains {ratio:.1f}x the offered rate of defer "
+            "before its p99 knee"
+        )
+    return "\n".join(out)

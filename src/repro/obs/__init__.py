@@ -21,6 +21,13 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     merge_metrics,
 )
+from repro.obs.percentiles import (
+    DEFAULT_REL_ERR,
+    PercentileSketch,
+    PercentileSnapshot,
+    merge_percentiles,
+)
+from repro.obs.request import RequestRecorder, RequestSpan
 from repro.obs.span import (
     GapStats,
     ObsSnapshot,
@@ -47,14 +54,20 @@ __all__ = [
     "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "DEFAULT_REL_ERR",
     "ObsSnapshot",
     "ObsState",
     "ObsStats",
     "OpSpan",
+    "PercentileSketch",
+    "PercentileSnapshot",
+    "RequestRecorder",
+    "RequestSpan",
     "SpanRecorder",
     "chrome_trace",
     "merge_metrics",
     "merge_obs_snapshots",
+    "merge_percentiles",
     "trace_events",
     "validate_trace_events",
     "write_chrome_trace",

@@ -10,6 +10,12 @@ format both ``chrome://tracing`` and https://ui.perfetto.dev load):
   visible as the distance between the two ticks inside a span bar;
 * ``ph: "C"`` (counter) events for the deferred-queue depth samples
   taken at each ``progress()`` entry;
+* one ``ph: "X"`` bar per serving :class:`~repro.obs.request.RequestSpan`
+  (admit → complete, category ``request``) plus ``ph: "i"`` instants for
+  the request *arrival* (which may precede the bar under backlog — the
+  visible gap is the queueing delay) and for the request's *SLO
+  deadline*, so a bar crossing its deadline tick reads directly as an
+  SLO miss;
 * ``ph: "M"`` metadata naming processes ("node N") and threads
   ("rank R").
 
@@ -37,6 +43,7 @@ def trace_events(
     *,
     phase_instants: bool = True,
     depth_counters: bool = True,
+    request_events: bool = True,
 ) -> list[dict]:
     """Build the ``traceEvents`` list for a set of per-rank snapshots."""
     events: list[dict] = []
@@ -110,6 +117,58 @@ def trace_events(
                         "tid": tid,
                         "args": {"sid": span.sid, "gap_ns": gap},
                     })
+        if request_events:
+            for req in snap.request_spans:
+                start = (
+                    req.t_admit if req.t_admit is not None else req.t_arrival
+                )
+                end = req.end_ns
+                events.append({
+                    "name": f"req:{req.op}",
+                    "cat": f"request,{req.kclass}",
+                    "ph": "X",
+                    "ts": start / _NS_PER_US,
+                    "dur": max(0.0, end - start) / _NS_PER_US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "rid": req.rid,
+                        "key": req.key,
+                        "kclass": req.kclass,
+                        "t_arrival_ns": req.t_arrival,
+                        "queue_ns": req.queue_ns,
+                        "latency_ns": req.latency_ns,
+                        "slo_deadline_ns": req.slo_deadline_ns,
+                        "slo_missed": req.slo_missed,
+                        "op_sids": list(req.op_sids),
+                    },
+                })
+                # Arrival tick: under backlog it lands *before* the bar —
+                # the visible gap is the request's queueing delay.
+                events.append({
+                    "name": "request:arrival",
+                    "cat": "request",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": req.t_arrival / _NS_PER_US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"rid": req.rid, "kclass": req.kclass},
+                })
+                if req.slo_deadline_ns is not None:
+                    events.append({
+                        "name": "request:slo_deadline",
+                        "cat": "request",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": req.slo_deadline_ns / _NS_PER_US,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {
+                            "rid": req.rid,
+                            "missed": req.slo_missed,
+                        },
+                    })
         if depth_counters:
             for t_ns, depth in snap.depth_samples:
                 events.append({
@@ -132,6 +191,7 @@ def chrome_trace(
     *,
     phase_instants: bool = True,
     depth_counters: bool = True,
+    request_events: bool = True,
 ) -> dict:
     """The full JSON-object-format trace document."""
     return {
@@ -139,6 +199,7 @@ def chrome_trace(
             snapshots,
             phase_instants=phase_instants,
             depth_counters=depth_counters,
+            request_events=request_events,
         ),
         "displayTimeUnit": "ns",
         "otherData": {"source": "repro.obs", "clock": "virtual"},
@@ -199,6 +260,10 @@ def validate_trace_events(doc: Union[dict, list]) -> list[str]:
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors.append(f"{where}: missing/negative ts {ts!r}")
+        if ph == "i":
+            scope = ev.get("s", "t")
+            if scope not in ("t", "p", "g"):
+                errors.append(f"{where}: ph=i bad scope {scope!r}")
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

@@ -70,6 +70,42 @@ class HistogramSnapshot:
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Approximate value at quantile ``q`` (0 <= q <= 1).
+
+        Fixed buckets only bound the answer to the containing bucket, so
+        this interpolates linearly by rank inside it, clamping the bucket
+        bounds to the observed ``min``/``max`` (which makes the first and
+        overflow buckets answerable at all).  For guaranteed-relative-
+        error quantiles use :class:`~repro.obs.percentiles.\
+PercentileSketch`; this helper exists so the *existing* gap/depth
+        histograms can report a p99 without changing their storage.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.n:
+            return 0.0
+        rank = q * (self.n - 1)
+        seen = 0
+        for i, count in enumerate(self.counts):
+            if not count:
+                continue
+            if rank < seen + count:
+                lo = self.edges[i - 1] if i > 0 else self.min
+                hi = self.edges[i] if i < len(self.edges) else self.max
+                if self.min is not None:
+                    lo = max(lo, self.min)
+                if self.max is not None:
+                    hi = min(hi, self.max)
+                if hi <= lo:
+                    return float(lo)
+                # linear-by-rank interpolation inside the bucket: the
+                # k-th of `count` values sits at (k + 0.5) / count
+                frac = (rank - seen + 0.5) / count
+                return float(lo + (hi - lo) * min(1.0, max(0.0, frac)))
+            seen += count
+        return float(self.max if self.max is not None else 0.0)
+
     def bucket_label(self, i: int) -> str:
         if i == 0:
             return f"<= {self.edges[0]:g}"

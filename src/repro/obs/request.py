@@ -1,0 +1,139 @@
+"""Request-lifecycle spans for open-loop serving.
+
+The existing :class:`~repro.obs.span.OpSpan` describes one asynchronous
+*operation*; a served request is a level above: it **arrives** at a
+virtual-time instant the server does not control (open loop), waits for
+the server to pick it up, spawns one or more operations against the DHT,
+and completes when its last operation's result is visible.  The span
+stamps that lifecycle:
+
+``t_arrival``
+    the request's scheduled arrival (from the workload's Poisson
+    process) — the open-loop clock starts here, whether or not the
+    server has even looked at the request yet;
+``t_admit``
+    the server picked the request up.  ``t_admit - t_arrival`` is the
+    **queueing delay**, exactly the quantity closed-loop benchmarks
+    cannot observe (they never let a backlog form);
+``t_issue``
+    the first DHT operation was issued;
+``t_complete``
+    the request's result became visible to the (virtual) client.
+
+``op_sids`` links the request to the :class:`OpSpan` s it spawned (same
+rank, contiguous sid range), so a Perfetto timeline can nest the
+operation bars under the request bar, and ``slo_deadline_ns`` carries the
+workload's latency objective so exports can draw the deadline marker and
+rollups can count misses.
+
+Like every ``repro.obs`` record, stamping charges **no** cost-model
+actions; and the whole span layer only exists when
+``FeatureFlags.obs_spans`` is on — the serve driver measures latency
+percentiles through :mod:`repro.obs.percentiles` regardless, but
+allocates no span objects with the flag off (pinned by
+``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class RequestSpan:
+    """One served request's lifecycle (all times virtual ns)."""
+
+    rid: int
+    rank: int
+    op: str  # "get" | "put" | "cas"
+    key: int
+    kclass: str  # key-popularity class: "hot" | "warm" | "cold"
+    t_arrival: float
+    t_admit: Optional[float] = None
+    t_issue: Optional[float] = None
+    t_complete: Optional[float] = None
+    #: absolute virtual-time deadline (t_arrival + SLO), None = no SLO
+    slo_deadline_ns: Optional[float] = None
+    #: sids of the OpSpans this request spawned (same rank)
+    op_sids: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        """Sojourn time (arrival -> complete), or None while open."""
+        if self.t_complete is None:
+            return None
+        return self.t_complete - self.t_arrival
+
+    @property
+    def queue_ns(self) -> Optional[float]:
+        """Open-loop queueing delay (arrival -> admit)."""
+        if self.t_admit is None:
+            return None
+        return self.t_admit - self.t_arrival
+
+    @property
+    def service_ns(self) -> Optional[float]:
+        """Service time (admit -> complete)."""
+        if self.t_admit is None or self.t_complete is None:
+            return None
+        return self.t_complete - self.t_admit
+
+    @property
+    def slo_missed(self) -> Optional[bool]:
+        """Whether the request finished past its deadline (None when no
+        SLO was set or the request is still open)."""
+        if self.slo_deadline_ns is None or self.t_complete is None:
+            return None
+        return self.t_complete > self.slo_deadline_ns
+
+    @property
+    def end_ns(self) -> float:
+        """Latest stamped phase (spans render as [t_arrival, end_ns])."""
+        end = self.t_arrival
+        for t in (self.t_admit, self.t_issue, self.t_complete):
+            if t is not None and t > end:
+                end = t
+        return end
+
+
+class RequestRecorder:
+    """Bounded per-rank request-span store (the
+    :class:`~repro.obs.span.SpanRecorder` discipline: spans past capacity
+    are still created and stamped, just not retained, and the drop is
+    counted so rollups can say the record is partial)."""
+
+    __slots__ = ("rank", "capacity", "spans", "dropped", "_next_rid")
+
+    def __init__(self, rank: int, capacity: int):
+        self.rank = rank
+        self.capacity = capacity
+        self.spans: list[RequestSpan] = []
+        self.dropped = 0
+        self._next_rid = 0
+
+    def begin(
+        self,
+        op: str,
+        key: int,
+        kclass: str,
+        t_arrival: float,
+        *,
+        slo_deadline_ns: Optional[float] = None,
+    ) -> RequestSpan:
+        rid = self._next_rid
+        self._next_rid += 1
+        span = RequestSpan(
+            rid=rid,
+            rank=self.rank,
+            op=op,
+            key=key,
+            kclass=kclass,
+            t_arrival=t_arrival,
+            slo_deadline_ns=slo_deadline_ns,
+        )
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span

@@ -39,7 +39,7 @@ observability on are tick-for-tick identical to runs with it off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.obs.metrics import (
@@ -51,6 +51,7 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     merge_metrics,
 )
+from repro.obs.request import RequestRecorder, RequestSpan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.context import RankContext
@@ -141,6 +142,14 @@ class SpanRecorder:
             self.dropped += 1
         return span
 
+    @property
+    def next_sid(self) -> int:
+        """The sid the *next* :meth:`begin` will assign — bracketing two
+        reads of this around a code region yields the contiguous sid
+        range of every span that region began (how request spans link to
+        the operation spans they spawned)."""
+        return self._next_sid
+
 
 @dataclass(frozen=True)
 class ObsSnapshot:
@@ -153,6 +162,10 @@ class ObsSnapshot:
     #: (t_ns, deferred-queue depth) sampled at each ``progress()`` entry.
     depth_samples: tuple[tuple[float, int], ...]
     metrics: MetricsSnapshot
+    #: request-lifecycle spans from the serve driver (empty outside a
+    #: served run — see :mod:`repro.obs.request`)
+    request_spans: tuple[RequestSpan, ...] = ()
+    request_spans_dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -191,6 +204,11 @@ class ObsStats:
     #: (``t_waited`` stamped) — the population wait hints exist to serve
     waited_gaps: dict[tuple[str, str], GapStats]
     metrics: MetricsSnapshot
+    #: request-lifecycle accounting (zeros outside a served run)
+    total_requests: int = 0
+    total_requests_dropped: int = 0
+    requests_by_op: dict = field(default_factory=dict)
+    slo_misses: int = 0
 
     def gap(self, mode: str, locality: str) -> Optional[GapStats]:
         return self.gaps.get((mode, locality))
@@ -207,9 +225,19 @@ def merge_obs_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsStats:
     by_op: dict[str, int] = {}
     gap_hists: dict[tuple[str, str], HistogramMetric] = {}
     waited_hists: dict[tuple[str, str], HistogramMetric] = {}
+    total_requests = 0
+    total_requests_dropped = 0
+    requests_by_op: dict[str, int] = {}
+    slo_misses = 0
     for snap in snaps:
         total_spans += len(snap.spans) + snap.spans_dropped
         total_dropped += snap.spans_dropped
+        total_requests += len(snap.request_spans) + snap.request_spans_dropped
+        total_requests_dropped += snap.request_spans_dropped
+        for req in snap.request_spans:
+            requests_by_op[req.op] = requests_by_op.get(req.op, 0) + 1
+            if req.slo_missed:
+                slo_misses += 1
         for span in snap.spans:
             by_op[span.op] = by_op.get(span.op, 0) + 1
             gap = span.notification_gap_ns
@@ -245,6 +273,10 @@ def merge_obs_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsStats:
             for key, h in sorted(waited_hists.items())
         },
         metrics=merge_metrics(s.metrics for s in snaps),
+        total_requests=total_requests,
+        total_requests_dropped=total_requests_dropped,
+        requests_by_op=requests_by_op,
+        slo_misses=slo_misses,
     )
 
 
@@ -258,12 +290,15 @@ class ObsState:
 
     MAX_DEPTH_SAMPLES = 100_000
 
-    __slots__ = ("ctx", "spans", "metrics", "depth_samples",
+    __slots__ = ("ctx", "spans", "requests", "metrics", "depth_samples",
                  "depth_samples_dropped")
 
     def __init__(self, ctx: "RankContext"):
         self.ctx = ctx
         self.spans = SpanRecorder(ctx.rank, ctx.flags.obs_span_capacity)
+        self.requests = RequestRecorder(
+            ctx.rank, ctx.flags.obs_span_capacity
+        )
         self.metrics = MetricsRegistry()
         self.depth_samples: list[tuple[float, int]] = []
         self.depth_samples_dropped = 0
@@ -286,6 +321,21 @@ class ObsState:
             target=target,
             nbytes=nbytes,
             locality=locality,
+        )
+
+    def begin_request(
+        self,
+        op: str,
+        key: int,
+        kclass: str,
+        t_arrival: float,
+        *,
+        slo_deadline_ns=None,
+    ) -> RequestSpan:
+        """Open a request-lifecycle span (serve driver only; see
+        :mod:`repro.obs.request`)."""
+        return self.requests.begin(
+            op, key, kclass, t_arrival, slo_deadline_ns=slo_deadline_ns
         )
 
     def close_notification(self, span: OpSpan, now_ns: float) -> None:
@@ -340,4 +390,6 @@ class ObsState:
             spans_dropped=self.spans.dropped,
             depth_samples=tuple(self.depth_samples),
             metrics=self.metrics.snapshot(),
+            request_spans=tuple(self.requests.spans),
+            request_spans_dropped=self.requests.dropped,
         )

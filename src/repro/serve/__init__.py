@@ -1,0 +1,58 @@
+"""Open-loop DHT serving: offered-load traffic over ``repro.apps.dht``.
+
+Every benchmark elsewhere in this repository is *closed-loop* SPMD: a
+rank issues its next operation when the previous one returns, so the
+measured quantity is per-operation cost and the system can never fall
+behind.  A service does not get that courtesy — requests arrive when
+clients send them, at a rate the server does not control, and the
+production question is **tail latency versus offered load**.  This
+package provides:
+
+* :mod:`repro.serve.workload` — seeded, deterministic open-loop traffic:
+  Poisson arrivals in virtual time at a configurable offered rate,
+  Zipfian key popularity (hot shards), and a mixed get/put/CAS request
+  blend;
+* :mod:`repro.serve.driver` — the serving loop itself: each rank is a
+  server draining its arrival schedule against the shared
+  :class:`~repro.apps.dht.DistributedHashMap`, stamping per-request
+  latency phases (queue/service/total) into
+  :class:`~repro.obs.percentiles.PercentileSketch` es and — when
+  ``FeatureFlags.obs_spans`` is on — full
+  :class:`~repro.obs.request.RequestSpan` records linked to the
+  operation spans each request spawned.
+
+The saturation-sweep harness over this driver lives in
+:mod:`repro.bench.servebench` (``python -m repro.bench serve``).
+"""
+
+from repro.serve.workload import (
+    KCLASSES,
+    Request,
+    ServeConfig,
+    build_schedule,
+    initial_value,
+    key_for,
+    kclass_bounds,
+    zipf_weights,
+)
+from repro.serve.driver import (
+    PHASES,
+    ServeRankSnapshot,
+    ServeResult,
+    run_serve,
+)
+
+__all__ = [
+    "KCLASSES",
+    "PHASES",
+    "Request",
+    "ServeConfig",
+    "ServeRankSnapshot",
+    "ServeResult",
+    "build_schedule",
+    "initial_value",
+    "key_for",
+    "kclass_bounds",
+    "run_serve",
+    "zipf_weights",
+]

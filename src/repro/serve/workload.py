@@ -1,0 +1,197 @@
+"""Deterministic open-loop workload generation for the serving driver.
+
+The arrival schedule is a pure function of ``(ServeConfig, rank, ranks)``
+— no shared state, no wall clock — so a serving run is exactly
+reproducible from its config, and two ranks' schedules are independent
+streams.  Three generator stages compose:
+
+* **Poisson arrivals** in virtual time: inter-arrival gaps are drawn
+  i.i.d. exponential with mean ``1e9 / per-rank rate`` nanoseconds, so
+  the world-wide offered load is ``offered_rate_rps`` requests per
+  virtual second regardless of how fast the server drains them (the
+  defining property of an open loop).
+* **Zipfian key popularity**: request keys are drawn from a fixed
+  ``key_space``-element universe with probability ``∝ 1/(i+1)**zipf_s``
+  for popularity index ``i``.  The most popular keys hash to a handful
+  of "hot" table slots, so high skew concentrates contention on a few
+  owner ranks — the hot-shard regime where tail latency decouples from
+  the mean.
+* **Mixed op blend**: each request is a get / put / CAS draw with
+  configured probabilities; all three resolve against the prepopulated
+  universe so a correct run observes *zero* absent keys (the driver's
+  correctness check).
+
+Keys are classed ``hot`` / ``warm`` / ``cold`` by popularity index
+(:func:`kclass_bounds`) and every request carries its class so latency
+sketches can be reported per popularity class.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+
+#: Key-popularity classes, most to least popular.
+KCLASSES = ("hot", "warm", "cold")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One serving run: table shape, key universe, traffic, and SLO."""
+
+    log2_slots: int = 12
+    #: Distinct keys prepopulated before serving starts; all requests
+    #: draw from this universe.
+    key_space: int = 256
+    #: Open-loop arrival count per rank (the schedule length).
+    requests_per_rank: int = 128
+    #: World-wide offered load, requests per *virtual* second.
+    offered_rate_rps: float = 2e6
+    #: Zipf exponent for key popularity (0 = uniform).
+    zipf_s: float = 1.1
+    #: Op blend; CAS gets the remainder ``1 - get_frac - put_frac``.
+    get_frac: float = 0.6
+    put_frac: float = 0.25
+    #: Per-request latency SLO in virtual nanoseconds (arrival → complete).
+    slo_ns: float = 150_000.0
+    #: Idle-polling quantum, virtual ns: while waiting for its next
+    #: arrival a server advances time in slices of this size, running the
+    #: progress engine between slices so remote traffic is serviced
+    #: promptly (a parked server would otherwise strand incoming AMs
+    #: until its own next request — unbounded added tail).
+    idle_poll_ns: float = 1000.0
+    #: Fraction of the key universe (by popularity) classed hot / warm.
+    hot_frac: float = 0.02
+    warm_frac: float = 0.18
+    seed: int = 11
+
+    def __post_init__(self):
+        if self.key_space < 1:
+            raise ValueError("key_space must be >= 1")
+        if self.requests_per_rank < 1:
+            raise ValueError("requests_per_rank must be >= 1")
+        if self.offered_rate_rps <= 0:
+            raise ValueError("offered_rate_rps must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if not (0.0 <= self.get_frac <= 1.0 and 0.0 <= self.put_frac <= 1.0):
+            raise ValueError("op fractions must be in [0, 1]")
+        if self.get_frac + self.put_frac > 1.0 + 1e-12:
+            raise ValueError("get_frac + put_frac must be <= 1")
+        if self.slo_ns <= 0:
+            raise ValueError("slo_ns must be positive")
+        if self.idle_poll_ns <= 0:
+            raise ValueError("idle_poll_ns must be positive")
+        if not (0.0 <= self.hot_frac <= 1.0 and 0.0 <= self.warm_frac <= 1.0):
+            raise ValueError("class fractions must be in [0, 1]")
+        if self.hot_frac + self.warm_frac > 1.0 + 1e-12:
+            raise ValueError("hot_frac + warm_frac must be <= 1")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled arrival (everything the server needs, precomputed)."""
+
+    #: Arrival time as an offset from the serving epoch, virtual ns.
+    offset_ns: float
+    op: str  # "get" | "put" | "cas"
+    key: int
+    #: Popularity index of ``key`` (0 = most popular).
+    key_index: int
+    kclass: str  # "hot" | "warm" | "cold"
+    #: Payload for puts; (expected, desired) source for CAS.
+    value: int
+
+
+def key_for(cfg: ServeConfig, index: int) -> int:
+    """The concrete table key for popularity index ``index``.
+
+    Distinct, nonzero, and seed-dependent; the slot hash
+    (:func:`repro.apps.dht._mix`) spreads them over the table, so
+    popularity skew translates into *slot* skew without further help.
+    """
+    return ((cfg.seed + 1) << 32) + index + 1
+
+
+def initial_value(index: int) -> int:
+    """Prepopulated value for popularity index ``index``."""
+    return index + 1
+
+
+def kclass_bounds(cfg: ServeConfig) -> tuple[int, int]:
+    """``(hot_end, warm_end)`` popularity-index bounds: indices
+    ``< hot_end`` are hot, ``< warm_end`` warm, the rest cold.  At least
+    one key is hot whenever ``hot_frac > 0`` (likewise warm)."""
+    hot_end = int(round(cfg.hot_frac * cfg.key_space))
+    if cfg.hot_frac > 0:
+        hot_end = max(1, hot_end)
+    warm_end = hot_end + int(round(cfg.warm_frac * cfg.key_space))
+    if cfg.warm_frac > 0:
+        warm_end = max(hot_end + 1, warm_end)
+    return min(hot_end, cfg.key_space), min(warm_end, cfg.key_space)
+
+
+def kclass_of(cfg: ServeConfig, index: int) -> str:
+    hot_end, warm_end = kclass_bounds(cfg)
+    if index < hot_end:
+        return "hot"
+    if index < warm_end:
+        return "warm"
+    return "cold"
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Normalized Zipf(s) probabilities over popularity indices 0..n-1."""
+    raw = [(i + 1) ** -s for i in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def _zipf_cdf(cfg: ServeConfig) -> list[float]:
+    cdf, acc = [], 0.0
+    for w in zipf_weights(cfg.key_space, cfg.zipf_s):
+        acc += w
+        cdf.append(acc)
+    cdf[-1] = 1.0  # guard float drift so bisect never falls off the end
+    return cdf
+
+
+def build_schedule(
+    cfg: ServeConfig, rank: int, ranks: int
+) -> tuple[Request, ...]:
+    """The full arrival schedule for one rank, sorted by arrival time.
+
+    Each of the ``ranks`` servers is an independent Poisson stream at
+    ``offered_rate_rps / ranks``, which superpose to the configured
+    world-wide Poisson offered load.  Deterministic: the RNG is seeded
+    from ``(cfg.seed, rank)`` only.
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    rng = random.Random((cfg.seed * 0x9E3779B1) ^ (rank * 0x85EBCA6B) ^ 0x1D)
+    mean_gap_ns = 1e9 * ranks / cfg.offered_rate_rps
+    cdf = _zipf_cdf(cfg)
+    hot_end, warm_end = kclass_bounds(cfg)
+    cas_cut = cfg.get_frac + cfg.put_frac
+    out = []
+    t = 0.0
+    for i in range(cfg.requests_per_rank):
+        t += rng.expovariate(1.0 / mean_gap_ns)
+        u = rng.random()
+        op = "get" if u < cfg.get_frac else ("put" if u < cas_cut else "cas")
+        ki = bisect_right(cdf, rng.random())
+        if ki >= cfg.key_space:
+            ki = cfg.key_space - 1
+        kclass = "hot" if ki < hot_end else ("warm" if ki < warm_end else "cold")
+        out.append(
+            Request(
+                offset_ns=t,
+                op=op,
+                key=key_for(cfg, ki),
+                key_index=ki,
+                kclass=kclass,
+                value=rng.randrange(1, 1 << 30),
+            )
+        )
+    return tuple(out)

@@ -131,6 +131,34 @@ def observability_stats(world: "World"):
     return merge_obs_snapshots(snaps)
 
 
+def serve_snapshots(world: "World"):
+    """Per-rank :class:`~repro.serve.driver.ServeRankSnapshot` list
+    (empty when the world never ran the serving driver).
+
+    The serving driver parks its measurement state on the rank context
+    as ``ctx.serve_obs`` — same convention as the aggregation/progress
+    subsystems, gathered through the one shared rollup walk."""
+    return gather_rank_snapshots(
+        world,
+        lambda ctx: (
+            ctx.serve_obs.snapshot()
+            if getattr(ctx, "serve_obs", None) is not None
+            else None
+        ),
+    )
+
+
+def serve_stats(world: "World"):
+    """World-wide serving rollup (``None`` when the world never served):
+    counters summed, percentile sketches merged per phase/class."""
+    snaps = serve_snapshots(world)
+    if not snaps:
+        return None
+    from repro.serve.driver import merge_serve_snapshots
+
+    return merge_serve_snapshots(snaps)
+
+
 def pshm_cache_hits(world: "World") -> int:
     """Lookups served by the conduit's static-topology reachability memo.
 

@@ -377,3 +377,120 @@ class TestTracedHarness:
         snaps = observability_snapshots(res.world)
         timeline = format_span_timeline(snaps, limit=5)
         assert "rput" in timeline
+
+
+# ---------------------------------------------------------------------------
+# fixed-bucket quantile helper
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramQuantile:
+    def test_quantile_interpolates_within_bucket(self):
+        h = HistogramMetric("t", edges=(10.0, 100.0, 1000.0))
+        for v in (5.0, 50.0, 60.0, 70.0, 500.0):
+            h.record(v)
+        snap = h.snapshot()
+        # rank 2 of 5 lands on the middle (10, 100] bucket
+        assert 10.0 <= snap.quantile(0.5) <= 100.0
+        # extremes clamp to the observed min/max, so the unbounded
+        # first/overflow buckets stay answerable
+        assert snap.quantile(0.0) == pytest.approx(5.0, abs=25.0)
+        assert snap.quantile(1.0) <= 500.0
+
+    def test_quantile_monotone_in_q(self):
+        h = HistogramMetric("t", edges=LATENCY_EDGES_NS)
+        for v in (3.0, 17.0, 230.0, 999.0, 40_000.0, 2e6):
+            h.record(v)
+        snap = h.snapshot()
+        qs = (0.0, 0.25, 0.5, 0.9, 0.99, 1.0)
+        vals = [snap.quantile(q) for q in qs]
+        assert vals == sorted(vals)
+
+    def test_quantile_empty_and_bounds(self):
+        snap = HistogramMetric("t", edges=(1.0, 2.0)).snapshot()
+        assert snap.quantile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            snap.quantile(2.0)
+
+
+# ---------------------------------------------------------------------------
+# serving request spans in the trace export
+# ---------------------------------------------------------------------------
+
+
+class TestServeExport:
+    def _serve_snapshots(self):
+        from repro.serve import ServeConfig
+        from repro.serve.driver import _serve_body_gen
+
+        cfg = ServeConfig(
+            log2_slots=9,
+            key_space=64,
+            requests_per_rank=16,
+            offered_rate_rps=2e6,
+            seed=5,
+        )
+        res = spmd_run(
+            _serve_body_gen,
+            args=(cfg,),
+            ranks=2,
+            version=VE,
+            flags=obs_flags(VE),
+            seed=cfg.seed,
+            segment_bytes=1 << 17,
+        )
+        return observability_snapshots(res.world)
+
+    def test_request_bars_and_instants_validate(self):
+        snaps = self._serve_snapshots()
+        events = trace_events(snaps)
+        assert validate_trace_events(events) == []
+        bars = [
+            e for e in events
+            if e["ph"] == "X" and e["name"].startswith("req:")
+        ]
+        assert len(bars) == 2 * 16
+        for e in bars:
+            cat = e["cat"].split(",")
+            assert cat[0] == "request"
+            assert cat[1] in ("hot", "warm", "cold")
+            assert e["args"]["latency_ns"] >= 0.0
+            assert e["args"]["queue_ns"] >= 0.0
+            assert isinstance(e["args"]["slo_missed"], bool)
+            assert isinstance(e["args"]["op_sids"], list)
+        arrivals = [e for e in events if e["name"] == "request:arrival"]
+        deadlines = [
+            e for e in events if e["name"] == "request:slo_deadline"
+        ]
+        assert len(arrivals) == len(bars)
+        assert len(deadlines) == len(bars)
+        for e in arrivals + deadlines:
+            assert e["ph"] == "i"
+            assert e.get("s", "t") in ("t", "p", "g")
+
+    def test_request_events_can_be_suppressed(self):
+        snaps = self._serve_snapshots()
+        events = trace_events(snaps, request_events=False)
+        assert validate_trace_events(events) == []
+        assert not [
+            e for e in events
+            if e["name"].startswith(("req:", "request:"))
+        ]
+        # op spans are untouched by the toggle
+        assert [e for e in events if e["ph"] == "X"]
+
+    def test_request_spans_roll_up_in_merge(self):
+        snaps = self._serve_snapshots()
+        merged = merge_obs_snapshots(snaps)
+        assert merged.total_requests == 2 * 16
+        assert merged.total_requests_dropped == 0
+        assert sum(merged.requests_by_op.values()) == 2 * 16
+
+    def test_validator_rejects_bad_instant_scope(self):
+        errs = validate_trace_events(
+            [{
+                "name": "x", "ph": "i", "pid": 0, "tid": 0,
+                "ts": 0.0, "s": "q",
+            }]
+        )
+        assert any("scope" in e for e in errs)

@@ -1,0 +1,261 @@
+"""The streaming percentile sketch and the serving workload generators.
+
+Three properties carry the serving benchmark's credibility:
+
+* **bounded relative error** — every quantile the sketch reports is
+  within its documented relative-error bound of the exact order
+  statistic (checked against a sorted-reference oracle across
+  adversarial distributions);
+* **merge algebra** — merging per-rank snapshots is associative and
+  commutative and equals the sketch of the concatenated stream, so the
+  world-wide rollup is independent of gather order;
+* **workload determinism** — the Poisson/Zipf schedule is a pure
+  function of (config, rank), so a serving run is reproducible from its
+  seed alone.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.percentiles import (
+    DEFAULT_REL_ERR,
+    PercentileSketch,
+    merge_percentiles,
+)
+from repro.serve.workload import (
+    ServeConfig,
+    build_schedule,
+    key_for,
+    kclass_bounds,
+    zipf_weights,
+)
+
+
+def exact_quantile(values, q):
+    """The oracle: the element the sketch's rank rule should target."""
+    ordered = sorted(values)
+    rank = int(q * (len(ordered) - 1))
+    return ordered[rank]
+
+
+class TestSketchAccuracy:
+    DISTRIBUTIONS = {
+        "uniform": lambda rng: rng.uniform(1.0, 1e6),
+        "lognormal": lambda rng: rng.lognormvariate(8.0, 2.5),
+        "exponential": lambda rng: rng.expovariate(1e-4),
+        "bimodal": lambda rng: (
+            rng.uniform(100.0, 200.0)
+            if rng.random() < 0.99
+            else rng.uniform(1e6, 2e6)
+        ),
+    }
+
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99, 0.999])
+    def test_quantiles_within_documented_relative_error(self, dist, q):
+        rng = random.Random(sum(map(ord, dist)) * 10007 + int(q * 1000))
+        draw = self.DISTRIBUTIONS[dist]
+        values = [draw(rng) for _ in range(5000)]
+        sk = PercentileSketch("t")
+        for v in values:
+            sk.record(v)
+        snap = sk.snapshot()
+        got = snap.quantile(q)
+        want = exact_quantile(values, q)
+        assert got == pytest.approx(want, rel=DEFAULT_REL_ERR), (
+            f"{dist} q={q}: sketch {got} vs exact {want}"
+        )
+
+    def test_tighter_rel_err_is_honoured(self):
+        rng = random.Random(11)
+        values = [rng.lognormvariate(5.0, 3.0) for _ in range(4000)]
+        sk = PercentileSketch("t", rel_err=0.001)
+        for v in values:
+            sk.record(v)
+        snap = sk.snapshot()
+        for q in (0.5, 0.99, 0.999):
+            assert snap.quantile(q) == pytest.approx(
+                exact_quantile(values, q), rel=0.001
+            )
+
+    def test_zero_and_negative_values_land_in_zero_bucket(self):
+        sk = PercentileSketch("t")
+        for v in (0.0, -5.0, 0.0, 10.0):
+            sk.record(v)
+        snap = sk.snapshot()
+        assert snap.zero_count == 3
+        assert snap.n == 4
+        # rank 0..2 of 4 values are the zero bucket
+        assert snap.quantile(0.5) == 0.0
+        assert snap.quantile(1.0) == pytest.approx(10.0, rel=DEFAULT_REL_ERR)
+
+    def test_min_max_total_exact(self):
+        sk = PercentileSketch("t")
+        vals = [3.0, 7.0, 1.5, 9.25]
+        for v in vals:
+            sk.record(v)
+        snap = sk.snapshot()
+        assert snap.min == 1.5
+        assert snap.max == 9.25
+        assert snap.total == pytest.approx(sum(vals))
+        assert snap.mean == pytest.approx(sum(vals) / len(vals))
+
+    def test_empty_sketch_quantile_is_zero(self):
+        snap = PercentileSketch("t").snapshot()
+        assert snap.n == 0
+        assert snap.quantile(0.99) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        snap = PercentileSketch("t").snapshot()
+        with pytest.raises(ValueError):
+            snap.quantile(1.5)
+        with pytest.raises(ValueError):
+            snap.quantile(-0.1)
+
+
+class TestSketchMerge:
+    def _sketch_of(self, values, name="t"):
+        sk = PercentileSketch(name)
+        for v in values:
+            sk.record(v)
+        return sk.snapshot()
+
+    def test_merge_equals_concatenated_stream(self):
+        rng = random.Random(7)
+        parts = [
+            [rng.expovariate(1e-3) for _ in range(n)]
+            for n in (100, 0, 350, 17)
+        ]
+        merged = merge_percentiles(
+            [self._sketch_of(p) for p in parts]
+        )
+        whole = self._sketch_of([v for p in parts for v in p])
+        assert merged.buckets == whole.buckets
+        assert merged.n == whole.n
+        assert merged.zero_count == whole.zero_count
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        assert merged.total == pytest.approx(whole.total)
+
+    def test_merge_associative_and_commutative(self):
+        rng = random.Random(13)
+        a, b, c = (
+            self._sketch_of([rng.lognormvariate(6, 2) for _ in range(200)])
+            for _ in range(3)
+        )
+        left = merge_percentiles([merge_percentiles([a, b]), c])
+        right = merge_percentiles([a, merge_percentiles([b, c])])
+        shuffled = merge_percentiles([c, a, b])
+        assert left.buckets == right.buckets == shuffled.buckets
+        assert left.n == right.n == shuffled.n
+
+    def test_merge_rejects_empty_and_mismatched_rel_err(self):
+        with pytest.raises(ValueError):
+            merge_percentiles([])
+        a = PercentileSketch("t", rel_err=0.01).snapshot()
+        b = PercentileSketch("t", rel_err=0.001).snapshot()
+        with pytest.raises(ValueError):
+            merge_percentiles([a, b])
+
+    def test_gamma_matches_rel_err(self):
+        snap = PercentileSketch("t", rel_err=0.01).snapshot()
+        gamma = snap.gamma
+        assert gamma == pytest.approx((1 + 0.01) / (1 - 0.01))
+        # bucket midpoint estimate is within rel_err of any value in it
+        v = 12345.0
+        idx = math.ceil(math.log(v) / math.log(gamma))
+        est = 2.0 * gamma**idx / (gamma + 1.0)
+        assert est == pytest.approx(v, rel=0.01)
+
+
+class TestWorkloadDeterminism:
+    def test_schedule_is_a_pure_function_of_config_and_rank(self):
+        cfg = ServeConfig(seed=21)
+        a = build_schedule(cfg, 3, 8)
+        b = build_schedule(cfg, 3, 8)
+        assert a == b
+
+    def test_ranks_get_distinct_streams(self):
+        cfg = ServeConfig(seed=21)
+        a = build_schedule(cfg, 0, 8)
+        b = build_schedule(cfg, 1, 8)
+        assert a != b
+
+    def test_seed_changes_the_schedule(self):
+        a = build_schedule(ServeConfig(seed=1), 0, 4)
+        b = build_schedule(ServeConfig(seed=2), 0, 4)
+        assert a != b
+
+    def test_arrivals_are_sorted_and_mean_gap_matches_rate(self):
+        cfg = ServeConfig(
+            seed=5, requests_per_rank=4000, offered_rate_rps=1e6
+        )
+        ranks = 8
+        sched = build_schedule(cfg, 2, ranks)
+        offsets = [r.offset_ns for r in sched]
+        assert offsets == sorted(offsets)
+        gaps = [
+            b - a for a, b in zip(offsets, offsets[1:])
+        ]
+        mean_gap = sum(gaps) / len(gaps)
+        expected = 1e9 * ranks / cfg.offered_rate_rps
+        assert mean_gap == pytest.approx(expected, rel=0.1)
+
+    def test_zipf_skew_concentrates_on_popular_keys(self):
+        cfg = ServeConfig(
+            seed=9, requests_per_rank=4000, key_space=128, zipf_s=1.1
+        )
+        sched = build_schedule(cfg, 0, 1)
+        hot_end, _ = kclass_bounds(cfg)
+        hot_hits = sum(1 for r in sched if r.key_index < hot_end)
+        # Zipf(1.1) over 128 keys puts far more than the uniform share
+        # (hot_end/128) on the hot prefix
+        assert hot_hits / len(sched) > 3 * (hot_end / cfg.key_space)
+
+    def test_kclass_labels_match_bounds(self):
+        cfg = ServeConfig(seed=9, requests_per_rank=500)
+        hot_end, warm_end = kclass_bounds(cfg)
+        for r in build_schedule(cfg, 1, 4):
+            if r.key_index < hot_end:
+                assert r.kclass == "hot"
+            elif r.key_index < warm_end:
+                assert r.kclass == "warm"
+            else:
+                assert r.kclass == "cold"
+            assert r.key == key_for(cfg, r.key_index)
+
+    def test_op_blend_respects_fractions(self):
+        cfg = ServeConfig(
+            seed=17, requests_per_rank=6000, get_frac=0.5, put_frac=0.3
+        )
+        sched = build_schedule(cfg, 0, 1)
+        n = len(sched)
+        by_op = {"get": 0, "put": 0, "cas": 0}
+        for r in sched:
+            by_op[r.op] += 1
+        assert by_op["get"] / n == pytest.approx(0.5, abs=0.03)
+        assert by_op["put"] / n == pytest.approx(0.3, abs=0.03)
+        assert by_op["cas"] / n == pytest.approx(0.2, abs=0.03)
+
+    def test_zipf_weights_normalized_and_monotone(self):
+        w = zipf_weights(64, 1.2)
+        assert sum(w) == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+        flat = zipf_weights(16, 0.0)
+        assert flat[0] == pytest.approx(flat[-1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(offered_rate_rps=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(get_frac=0.8, put_frac=0.5)
+        with pytest.raises(ValueError):
+            ServeConfig(hot_frac=0.9, warm_frac=0.5)
+        with pytest.raises(ValueError):
+            ServeConfig(requests_per_rank=0)
+        with pytest.raises(ValueError):
+            ServeConfig(idle_poll_ns=0.0)

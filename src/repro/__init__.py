@@ -32,6 +32,7 @@ from __future__ import annotations
 from repro.atomics import AMO_OPS, AtomicDomain
 from repro.core import (
     Completions,
+    CxCounter,
     Event,
     Future,
     Promise,
@@ -85,7 +86,8 @@ __all__ = [
     "new_", "new_array", "delete_",
     # futures / promises / completions
     "Future", "Promise", "make_future", "to_future", "when_all",
-    "Completions", "Event", "operation_cx", "source_cx", "remote_cx",
+    "Completions", "CxCounter", "Event",
+    "operation_cx", "source_cx", "remote_cx",
     # communication
     "rput", "rput_bulk", "rget", "rget_into", "rget_bulk", "copy",
     "rput_strided", "rget_strided", "rput_indexed", "rget_indexed",

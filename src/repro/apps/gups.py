@@ -61,6 +61,19 @@ Two further variants go beyond the paper:
     through ``finalize().wait()`` (the set-targeting case: every backlog
     thunk shares the promise's cell) and runs the same idle polling
     segment as ``prog_adaptive``, so poll budgets compare directly.
+``cont``
+    the ``prog_adaptive`` workload retargeted at continuation
+    completions (requires ``FeatureFlags.cx_continuations``): each
+    atomic update is tracked by ``operation_cx.as_continuation`` ticking
+    a done counter instead of allocating a future/promise cell.
+    Continuations are eager-by-construction — they dispatch the moment
+    whichever agent observes the ack (inline in ``notify_sync`` or from
+    the progress engine's pend path), never parking on the deferred
+    queue — so under a deferred-notification build their notification
+    gaps collapse to the eager baseline while the future-path variants
+    still pay the defer penalty.  The batch drain blocks on the counter
+    reaching the issue count, and the idle polling segment matches
+    ``prog_adaptive`` so poll budgets compare directly.
 
 
 Every variant charges the same per-update "application work": the HPCC
@@ -94,7 +107,7 @@ from repro import (
 )
 from repro.core.promise import Promise
 from repro.memory.global_ptr import GlobalPtr
-from repro.runtime.config import Version
+from repro.runtime.config import Version, flags_for
 from repro.runtime.runtime import SpmdResult, spmd_run
 from repro.sim.costmodel import CostAction
 from repro.sim.stats import (
@@ -117,7 +130,12 @@ PAPER_GUPS_VARIANTS = (
 )
 
 #: all variants, including the beyond-the-paper ones
-GUPS_VARIANTS = PAPER_GUPS_VARIANTS + ("agg", "prog_adaptive", "wait_hints")
+GUPS_VARIANTS = PAPER_GUPS_VARIANTS + (
+    "agg",
+    "prog_adaptive",
+    "wait_hints",
+    "cont",
+)
 
 _MASK64 = (1 << 64) - 1
 _POLY = 0x0000000000000007
@@ -511,6 +529,49 @@ def _run_wait_hints(ctx, cfg, bases, per_rank, stream):
             ctx.progress()
 
 
+def _run_cont(ctx, cfg, bases, per_rank, stream):
+    """Continuation-tracked counterpart of ``prog_adaptive`` (see the
+    module docstring; requires ``FeatureFlags.cx_continuations``).
+
+    Each batch issues atomic xors tracked by a continuation that ticks a
+    shared done counter — no future or promise cell is allocated, and the
+    completion never parks on the deferred queue: it dispatches at
+    whichever agent first observes the ack.  The batch drain spins on the
+    counter (yielding to the scheduler between polls so the event-loop
+    substrate stays live), then runs the same idle polling segment as
+    ``prog_adaptive``.  Exactness as for ``prog_adaptive``: atomics never
+    race within an update and every batch ends fully drained.
+    """
+    from repro.runtime.switchpoints import BlockUntil
+
+    ad = AtomicDomain({"bit_xor"}, "u64")
+    done = [0]
+
+    def on_done():
+        done[0] += 1
+
+    issued = 0
+    for start in range(0, len(stream), cfg.batch):
+        chunk = stream[start : start + cfg.batch]
+        for ran in chunk:
+            _charge_update_work(ctx)
+            dest = _target(bases, per_rank, ran)
+            ad.bit_xor(dest, ran, operation_cx.as_continuation(on_done))
+            issued += 1
+        while done[0] < issued:
+            ctx.progress()
+            if done[0] >= issued:
+                break
+            yield BlockUntil(
+                lambda: done[0] >= issued or ctx.has_incoming()
+            )
+        # idle polling segment, as in prog_adaptive: the application
+        # overlaps local work with polls that (post-drain) find nothing
+        for _ in chunk:
+            ctx.charge(CostAction.FUNCTION_CALL)
+            ctx.progress()
+
+
 _VARIANT_BODIES = {
     "raw": _run_raw,
     "manual": _run_manual,
@@ -521,6 +582,7 @@ _VARIANT_BODIES = {
     "agg": _run_agg,
     "prog_adaptive": _run_prog_adaptive,
     "wait_hints": _run_wait_hints,
+    "cont": _run_cont,
 }
 
 
@@ -550,6 +612,10 @@ def run_gups(
     """
     n = 1 << cfg.table_log2
     seg_bytes = max(1 << 16, (n // ranks + cfg.batch + 64) * 8 * 2)
+    if cfg.variant == "cont" and not (flags and flags.cx_continuations):
+        # the cont variant is unusable without continuation completions;
+        # enable the flag on top of whatever else the caller configured
+        flags = (flags or flags_for(version)).replace(cx_continuations=True)
     res: SpmdResult = spmd_run(
         _gups_body,
         args=(cfg,),

@@ -10,6 +10,7 @@ Reproduces any of the paper's figures without pytest:
     python -m repro.bench offnode
     python -m repro.bench sched --out BENCH_sched.json
     python -m repro.bench serve --out BENCH_serve.json
+    python -m repro.bench cont --out BENCH_cont.json
     python -m repro.bench all
     python -m repro.bench trace --variant rma_future --out gups.trace.json
 """
@@ -180,6 +181,29 @@ def cmd_serve(args) -> None:
     print(f"\nwrote {args.out} (schema valid)")
 
 
+def cmd_cont(args) -> None:
+    from repro.bench.contbench import write_cont_bench
+
+    doc = write_cont_bench(
+        args.out, quick=args.quick, progress=lambda m: print(m, flush=True)
+    )
+    head = doc["headline"]
+    for c in doc["comparisons"]:
+        print(
+            f"batch {c['batch']:>3}: future gap "
+            f"{c['future_mean_gap_ns']:.1f}ns, cont gap "
+            f"{c['cont_mean_gap_ns']:.1f}ns "
+            f"({c['gap_ratio']:.1f}x)"
+        )
+    print(
+        f"cont beats future at every batch: "
+        f"{head['cont_beats_future_all_batches']} "
+        f"(gap ratio {head['gap_ratio_min']:.1f}x .. "
+        f"{head['gap_ratio_max']:.1f}x)"
+    )
+    print(f"wrote {args.out}")
+
+
 def cmd_all(args) -> None:
     for machine in ("intel", "ibm", "marvell"):
         args.machine = machine
@@ -301,6 +325,21 @@ def build_parser() -> argparse.ArgumentParser:
         "rates/configs)",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "cont",
+        help="continuation vs future completion-path gap sweep "
+        "-> BENCH_cont.json",
+    )
+    p.add_argument(
+        "--out", default="BENCH_cont.json",
+        help="artifact path (default: BENCH_cont.json in the cwd)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small sweep for CI smoke (fewer batches, fewer ranks)",
+    )
+    p.set_defaults(fn=cmd_cont)
 
     p = sub.add_parser("all", help="every figure, default parameters")
     common(p)

@@ -23,6 +23,7 @@ from repro.core.events import Event
 from repro.core.completions import (
     Completions,
     CompletionRequest,
+    CxCounter,
     CxDispatcher,
     operation_cx,
     remote_cx,
@@ -42,6 +43,7 @@ __all__ = [
     "Event",
     "Completions",
     "CompletionRequest",
+    "CxCounter",
     "CxDispatcher",
     "operation_cx",
     "source_cx",

@@ -28,6 +28,24 @@ report each event either
   allocated up front and the returned :class:`PendingEvent` is completed
   later from inside the progress engine, which is deferred notification by
   construction.
+
+**Notifiable completions beyond futures (``cx_continuations``).**  Two
+further completion kinds generalize the eager idea past future objects
+(MPI Continuations / UNR lineage — see DESIGN.md §13):
+
+* *continuation completions* (``operation_cx.as_continuation(fn)``):
+  the callback is attached at initiation and runs inline at whichever
+  agent observes completion — on the ``notify_sync`` fast path for
+  synchronous transfers (zero future/cell allocation, even on defer
+  builds) or from the progress engine's ack dispatch on the ``pend``
+  path;
+* *counter completions* (:class:`CxCounter`): N operation events
+  aggregate into one notification on a shared cell, one allocation
+  total, targetable by ``wait_hints`` as a unit (waiting on the counter
+  flushes every member op's destination).
+
+Both are gated behind ``FeatureFlags.cx_continuations`` — with the flag
+off the factories raise and every existing path is untouched.
 """
 
 from __future__ import annotations
@@ -40,6 +58,9 @@ from repro.core.events import Event
 from repro.core.future import Future
 from repro.core.promise import Promise
 from repro.errors import CompletionError
+from repro.runtime.context import current_ctx
+from repro.runtime.switchpoints import BlockUntil, run_blocking
+from repro.runtime.wait_hints import WaitTarget
 from repro.sim.costmodel import CostAction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +71,8 @@ _FUTURE = "future"
 _PROMISE = "promise"
 _LPC = "lpc"
 _RPC = "rpc"
+_CONTINUATION = "continuation"
+_COUNTER = "counter"
 
 _DEFAULT = "default"
 _EAGER = "eager"
@@ -61,11 +84,12 @@ class CompletionRequest:
     """One requested notification: (event, mechanism, eagerness, payload)."""
 
     event: Event
-    kind: str  # future | promise | lpc | rpc
+    kind: str  # future | promise | lpc | rpc | continuation | counter
     eagerness: str = _DEFAULT  # default | eager | defer
     promise: Optional[Promise] = None
     fn: Optional[Callable] = None
     args: tuple = ()
+    counter: Optional["CxCounter"] = None
 
     def describe(self) -> str:
         e = "" if self.eagerness == _DEFAULT else f"_{self.eagerness}"
@@ -143,6 +167,39 @@ class _CxFactory:
             )
         return self._one(kind=_RPC, fn=fn, args=args)
 
+    # -- notifiable completions (cx_continuations) ---------------------------
+
+    def as_continuation(self, fn: Callable, *args) -> Completions:
+        """Run ``fn(*args, *values)`` inline at whichever agent observes
+        this event's completion (``FeatureFlags.cx_continuations``).
+
+        No future or cell is allocated: a synchronously completing
+        operation dispatches the callback right inside ``notify_sync``
+        (even on defer builds — the continuation *is* the eager
+        discipline, there is no object whose readiness could be
+        observed early), and an off-node operation dispatches it from
+        the progress engine when the ack arrives.
+        """
+        if self._event is Event.REMOTE:
+            raise CompletionError(
+                "remote completion cannot use a continuation (use as_rpc)"
+            )
+        return self._one(kind=_CONTINUATION, fn=fn, args=args)
+
+    def as_counter(self, counter: "CxCounter") -> Completions:
+        """Signal ``counter`` when this event completes
+        (``FeatureFlags.cx_continuations``).
+
+        N operations sharing one :class:`CxCounter` produce a single
+        notification when the last one signals — one cell allocation
+        and one wake for the whole batch.
+        """
+        if self._event is Event.REMOTE:
+            raise CompletionError(
+                "remote completion cannot target a counter"
+            )
+        return self._one(kind=_COUNTER, counter=counter)
+
 
 #: Source-completion factory namespace (``source_cx`` in UPC++).
 source_cx = _CxFactory(Event.SOURCE)
@@ -150,6 +207,153 @@ source_cx = _CxFactory(Event.SOURCE)
 remote_cx = _CxFactory(Event.REMOTE)
 #: Operation-completion factory namespace (``operation_cx``).
 operation_cx = _CxFactory(Event.OPERATION)
+
+
+class CxCounter:
+    """N operation events → one notification (a UNR-style counter object).
+
+    Construct with the number of expected events, attach to operations
+    via ``operation_cx.as_counter(ctr)`` (or ``source_cx``), and wait on
+    the aggregate::
+
+        ctr = CxCounter(len(batch))
+        for dest, val in batch:
+            rput(val, dest, operation_cx.as_counter(ctr))
+        ctr.wait()          # one notification for the whole batch
+
+    One cell allocation backs all N events; each member event charges the
+    cheap ``CX_COUNTER_SIGNAL`` and the Nth charges ``CX_COUNTER_TRIP``
+    and fires the single notification (cell callbacks run, parked waiters
+    wake via the ordinary ``("cell", cell)`` wake key on both scheduler
+    substrates).  Off-node member destinations are remembered so a hinted
+    wait (``wait_hints``) flushes *all* of them, not just one.
+
+    Requires ``FeatureFlags.cx_continuations``.
+    """
+
+    __slots__ = ("_cell", "_expected", "_signalled", "_dsts")
+
+    def __init__(self, n: int):
+        ctx = current_ctx()
+        if not ctx.flags.cx_continuations:
+            raise CompletionError(
+                "CxCounter requires FeatureFlags.cx_continuations "
+                f"(build is {ctx.config.version.value})"
+            )
+        if n < 1:
+            raise CompletionError(f"CxCounter needs n >= 1, got {n}")
+        #: the one shared cell: deps = n, each signal clears one
+        self._cell = alloc_cell(ctx, nvalues=0, deps=n)
+        self._expected = n
+        self._signalled = 0
+        #: off-node destination ranks of member operations (recorded by
+        #: CxDispatcher.mark_injected) — the hinted wait's flush set
+        self._dsts: set[int] = set()
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def expected(self) -> int:
+        return self._expected
+
+    @property
+    def signalled(self) -> int:
+        return self._signalled
+
+    @property
+    def done(self) -> bool:
+        """Whether all N member events have completed."""
+        return self._cell.ready
+
+    # -- producer side (called by the completion machinery) ----------------
+
+    def signal(self, ctx: "RankContext") -> None:
+        """One member event completed (dispatcher-internal)."""
+        if self._signalled >= self._expected:
+            raise CompletionError(
+                f"CxCounter over-signalled: already got {self._expected}"
+            )
+        self._signalled += 1
+        ctx.charge(CostAction.CX_COUNTER_SIGNAL)
+        if self._signalled == self._expected:
+            # the aggregate notification: charged once per counter, then
+            # the cell fires callbacks / wakes parked waiters
+            ctx.charge(CostAction.CX_COUNTER_TRIP)
+        self._cell.fulfill()
+
+    def add_callback(self, cb: Callable[[], None]) -> None:
+        """Run ``cb()`` when the counter trips (immediately if done)."""
+        self._cell.add_callback(lambda _vals: cb())
+
+    # -- blocking ----------------------------------------------------------
+
+    def wait(self) -> None:
+        """Block (the simulated rank) until the counter trips.
+
+        Same spin discipline as :meth:`Future.wait`; with ``wait_hints``
+        on, the published :class:`WaitTarget` carries *every* member
+        off-node destination, so targeted flushes cover the whole batch.
+        """
+        ctx = current_ctx()
+        cell = self._cell
+        ctx.charge(CostAction.FUTURE_READY_CHECK)
+        if cell.ready:
+            return
+        run_blocking(ctx, self._wait_spin_gen(ctx, cell))
+
+    def wait_gen(self):
+        """Generator form of :meth:`wait` for continuation rank bodies."""
+        ctx = current_ctx()
+        cell = self._cell
+        ctx.charge(CostAction.FUTURE_READY_CHECK)
+        if cell.ready:
+            return
+        yield from self._wait_spin_gen(ctx, cell)
+
+    def _wait_spin_gen(self, ctx, cell):
+        if ctx.wait_hints:
+            yield from self._wait_hinted_gen(ctx, cell)
+            return
+        while True:
+            ctx.progress()
+            ctx.charge(CostAction.FUTURE_READY_CHECK)
+            if cell.ready:
+                return
+            yield BlockUntil(
+                lambda: cell.ready or ctx.has_incoming(),
+                wake=("cell", cell),
+            )
+
+    def _wait_hinted_gen(self, ctx, cell):
+        dsts = tuple(sorted(self._dsts))
+        obs = ctx.obs
+        if obs is not None:
+            obs.on_wait_hint(dsts[0] if dsts else None)
+        t0 = ctx.clock.now_ns
+        ctx.push_wait_target(
+            WaitTarget(cell=cell, dst_ranks=dsts, op="counter")
+        )
+        try:
+            while True:
+                ctx.progress()
+                ctx.charge(CostAction.FUTURE_READY_CHECK)
+                if cell.ready:
+                    if obs is not None:
+                        obs.on_wait_stall(ctx.clock.now_ns - t0)
+                    return
+                ctx.flush_aggregation(reason="wait_block")
+                yield BlockUntil(
+                    lambda: cell.ready or ctx.has_incoming(),
+                    wake=("cell", cell),
+                )
+        finally:
+            ctx.pop_wait_target()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CxCounter {self._signalled}/{self._expected}"
+            f"{' done' if self.done else ''}>"
+        )
 
 
 @dataclass
@@ -189,6 +393,14 @@ class PendingEvent:
                 self.ctx.progress_engine.enqueue_lpc(
                     lambda r=req: r.fn(*r.args)
                 )
+            elif req.kind == _CONTINUATION:
+                # fires from whichever agent observed completion — here,
+                # the progress engine delivering the ack (or a wait-hinted
+                # drain): already inside progress context, dispatch inline
+                self.ctx.charge(CostAction.CX_CONTINUATION_DISPATCH)
+                req.fn(*req.args, *values)
+            elif req.kind == _COUNTER:
+                req.counter.signal(self.ctx)
         if span is not None:
             self.ctx.obs.close_notification(span, self.ctx.clock.now_ns)
 
@@ -243,6 +455,15 @@ class CxDispatcher:
                     f"{req.describe()} requires the 2021.3.6 completion "
                     f"factories (build is {ctx.config.version.value})"
                 )
+            if (
+                req.kind in (_CONTINUATION, _COUNTER)
+                and not flags.cx_continuations
+            ):
+                raise CompletionError(
+                    f"{req.describe()} requires "
+                    f"FeatureFlags.cx_continuations "
+                    f"(build is {ctx.config.version.value})"
+                )
         obs = ctx.obs
         self._span: Optional["OpSpan"] = (
             obs.begin_span(
@@ -263,6 +484,12 @@ class CxDispatcher:
         counters are untouched."""
         self._target_rank = target_rank
         self._target_local = local
+        if not local:
+            # counters remember every member op's off-node destination so
+            # a hinted wait on the counter can flush them all
+            for req in self.comps.requests:
+                if req.kind == _COUNTER:
+                    req.counter._dsts.add(target_rank)
         span = self._span
         if span is not None:
             span.target = target_rank
@@ -367,6 +594,21 @@ class CxDispatcher:
                     ctx.progress_engine.enqueue_lpc(
                         lambda req=req: req.fn(*req.args)
                     )
+            elif req.kind == _CONTINUATION:
+                # eager by construction: the initiating agent observed
+                # completion synchronously, so the callback runs right
+                # here — zero future/cell allocation and no progress-queue
+                # round trip, even on defer builds (there is no object
+                # whose readiness could have been observed early, so the
+                # legacy semantics have nothing to preserve)
+                ctx.charge(CostAction.CX_CONTINUATION_DISPATCH)
+                req.fn(*req.args, *vals)
+                if span is not None:
+                    ctx.obs.close_notification(span, ctx.clock.now_ns)
+            elif req.kind == _COUNTER:
+                req.counter.signal(ctx)
+                if span is not None:
+                    ctx.obs.close_notification(span, ctx.clock.now_ns)
             # _RPC requests are shipped by the operation itself
 
     # -- asynchronous completion (the off-node case) -----------------------------

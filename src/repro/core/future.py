@@ -36,7 +36,7 @@ class Future:
     of the C++ API.
     """
 
-    __slots__ = ("_cell", "_span", "_hint_dst")
+    __slots__ = ("_cell", "_span", "_hint_dst", "_sched_charged")
 
     def __init__(self, cell: PromiseCell):
         self._cell = cell
@@ -47,6 +47,10 @@ class Future:
         #: was injected off-node (set by CxDispatcher.result(); None for
         #: local ops) — a hinted wait passes it to the AM aggregator
         self._hint_dst = None
+        #: whether this future already paid FUTURE_CALLBACK_SCHEDULE for a
+        #: ``then`` (the legacy bookkeeping is per chain head, not per call
+        #: — a second ``then`` on a ready future re-enters the same state)
+        self._sched_charged = False
 
     # -- queries ----------------------------------------------------------
 
@@ -97,9 +101,18 @@ class Future:
             # builds keep the legacy charge below even when ready, matching
             # the release's unconditional scheduling bookkeeping.
             return _capture(ctx, fn, cell.result_tuple())
-        ctx.charge(CostAction.FUTURE_CALLBACK_SCHEDULE)
         if cell.ready:
+            # deferred-build ready fast path: the release charges its
+            # scheduling bookkeeping once per chain head — a repeat `then`
+            # on an already-chained ready future schedules nothing new, so
+            # the charge is deduplicated (regression-pinned in
+            # tests/test_future_edge.py)
+            if not self._sched_charged:
+                self._sched_charged = True
+                ctx.charge(CostAction.FUTURE_CALLBACK_SCHEDULE)
             return _capture(ctx, fn, cell.result_tuple())
+        self._sched_charged = True
+        ctx.charge(CostAction.FUTURE_CALLBACK_SCHEDULE)
         # arity is unknown until fn runs; _deliver fixes it before fulfilling
         result_cell = alloc_cell(ctx, nvalues=0, deps=1)
 

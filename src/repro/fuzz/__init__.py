@@ -18,6 +18,7 @@ from repro.fuzz.programs import (
     program_to_json,
 )
 from repro.fuzz.runner import (
+    CX_MODES,
     MODES,
     SCHEDULERS,
     FuzzOutcome,
@@ -32,6 +33,7 @@ __all__ = [
     "generate_program",
     "program_from_json",
     "program_to_json",
+    "CX_MODES",
     "MODES",
     "SCHEDULERS",
     "FuzzOutcome",

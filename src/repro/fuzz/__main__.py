@@ -26,7 +26,13 @@ from repro.fuzz.programs import (
     program_from_json,
     program_to_json,
 )
-from repro.fuzz.runner import MODES, SCHEDULERS, check_program, run_program
+from repro.fuzz.runner import (
+    CX_MODES,
+    MODES,
+    SCHEDULERS,
+    check_program,
+    run_program,
+)
 
 
 def _program_seed(seed: int, index: int) -> int:
@@ -85,8 +91,17 @@ def main(argv=None) -> int:
         "the event loop reproduces the thread scheduler exactly, clocks "
         "included (default: thread)",
     )
+    parser.add_argument(
+        "--cx", nargs="+", choices=CX_MODES[1:], default=[],
+        metavar="VARIANT",
+        help="completion-kind swap variants (continuation, counter): each "
+        "program additionally runs with its future-tracked ops swapped "
+        "for the named kinds, and every (mode, variant) outcome must "
+        "reproduce that mode's future baseline (default: none)",
+    )
     args = parser.parse_args(argv)
     schedulers = SCHEDULERS if args.sched == "both" else (args.sched,)
+    cx_modes = tuple(args.cx)
 
     if args.replay:
         with open(args.replay) as fh:
@@ -94,7 +109,9 @@ def main(argv=None) -> int:
         program = program_from_json(
             json.dumps(doc["program"] if "program" in doc else doc)
         )
-        mismatches = check_program(program, schedulers=schedulers)
+        mismatches = check_program(
+            program, schedulers=schedulers, cx_modes=cx_modes
+        )
         if mismatches:
             print(f"still mismatching: {mismatches}", file=sys.stderr)
             return 1
@@ -107,7 +124,9 @@ def main(argv=None) -> int:
         print(f"seed {seed}: {args.programs} programs ...", flush=True)
         for index in range(args.programs):
             program = generate_program(_program_seed(seed, index))
-            mismatches = check_program(program, schedulers=schedulers)
+            mismatches = check_program(
+                program, schedulers=schedulers, cx_modes=cx_modes
+            )
             if mismatches:
                 return _fail(args, seed, index, program, mismatches)
             if args.replay_every and index % args.replay_every == 0:
@@ -118,10 +137,25 @@ def main(argv=None) -> int:
                         args, seed, index, program,
                         ["adaptive replay not bit-identical"],
                     )
+                if cx_modes:
+                    cx = cx_modes[index % len(cx_modes)]
+                    a = run_program(
+                        program, "adaptive", schedulers[0], cx=cx
+                    )
+                    b = run_program(
+                        program, "adaptive", schedulers[0], cx=cx
+                    )
+                    if a != b:
+                        return _fail(
+                            args, seed, index, program,
+                            [f"adaptive/{cx} replay not bit-identical"],
+                        )
             total += 1
     dt = time.time() - t0
+    variants = 1 + len(cx_modes)
     print(
         f"OK: {total} programs x {len(MODES)} modes "
+        f"x {variants} cx variant(s) "
         f"x {len(schedulers)} scheduler(s) agree ({dt:.1f}s)"
     )
     return 0

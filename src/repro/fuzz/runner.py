@@ -22,14 +22,33 @@ completion counts.  Virtual clocks legitimately differ across modes (that
 difference *is* the paper's subject) but must be bit-identical when the
 same (program, mode) pair is replayed — :func:`run_program` is a pure
 function of its arguments, which the replay test asserts.
+
+**Completion-kind swaps (``cx``).**  Beyond the mode axis, a program can
+be re-run with its future-tracked value-less operations randomly swapped
+for the ``cx_continuations`` completion kinds (the swap coin is a pure
+function of the program seed and rank, so every run of a given ``cx``
+makes identical choices):
+
+    future        the baseline — ops tracked exactly as generated
+    continuation  swapped ops carry ``operation_cx.as_continuation`` and
+                  a fence spins until every issued callback fired
+    counter       each phase's swapped ops share one ``CxCounter``,
+                  waited at the phase fence
+
+A swapped run must reproduce the future baseline's tables, values, and
+completion counts under every mode (clocks legitimately differ — the
+swap changes what is charged), and must itself be bit-identical across
+scheduler substrates, clocks included.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro import (
     AtomicDomain,
+    CxCounter,
     barrier_gen,
     current_ctx,
     new_array,
@@ -43,6 +62,7 @@ from repro import (
 from repro.core.promise import Promise
 from repro.memory.global_ptr import GlobalPtr
 from repro.runtime.config import FeatureFlags, Version, flags_for
+from repro.runtime.switchpoints import BlockUntil
 from repro.fuzz.programs import FuzzProgram
 from repro.sim.costmodel import CostAction
 
@@ -50,6 +70,14 @@ _MASK64 = (1 << 64) - 1
 
 #: the differential mode set (name -> (version, flags))
 MODES = ("eager", "defer", "adaptive", "hinted")
+
+#: completion-kind swap variants ("future" = the unmodified baseline)
+CX_MODES = ("future", "continuation", "counter")
+
+#: op kinds eligible for a completion-kind swap: value-less and
+#: future-tracked (gets/rpcs produce values the swap has no slot for;
+#: promise-tracked ops already share one notification object)
+_SWAPPABLE = ("put", "amo_xor", "amo_add")
 
 #: scheduler substrates a program can run on (must be indistinguishable —
 #: clocks included — for any program; the differential check enforces it)
@@ -113,7 +141,28 @@ def _apply_xor(offset: int, ts, value: int) -> None:
     seg.write_scalar(offset, ts, (int(old) ^ value) & _MASK64)
 
 
-def _fuzz_body(program: FuzzProgram):
+def _swap_plan(program: FuzzProgram, me: int, cx: str) -> dict:
+    """Which (phase, serial) ops this rank swaps under ``cx``.
+
+    A pure function of (program, rank, cx): the coin stream is seeded from
+    the program seed and rank only, so every mode/scheduler run of a given
+    swap variant makes identical choices — the differential comparison
+    depends on it.  Roughly 3 in 4 eligible ops swap, leaving genuinely
+    mixed future/continuation programs in the corpus.
+    """
+    if cx == "future":
+        return {}
+    tag = 1 if cx == "continuation" else 2
+    rng = random.Random((program.seed * 2654435761 + me) ^ (tag << 48))
+    plan: dict[tuple[int, int], bool] = {}
+    for phase_i, phase in enumerate(program.phases):
+        for serial, op in enumerate(phase.ops[me]):
+            if op["kind"] in _SWAPPABLE and op.get("track") == "future":
+                plan[(phase_i, serial)] = rng.random() < 0.75
+    return plan
+
+
+def _fuzz_body(program: FuzzProgram, cx: str = "future"):
     # a generator continuation: runs in place on the event-loop scheduler
     # and through the rank thread's trampoline on the thread scheduler
     ctx = current_ctx()
@@ -125,23 +174,64 @@ def _fuzz_body(program: FuzzProgram):
     # lock-step allocation: offsets agree across ranks (cf. the GUPS body)
     bases = [GlobalPtr(r, arr.offset, arr.ts) for r in range(ranks)]
     ad = AtomicDomain({"bit_xor", "add"}, "u64")
+    swaps = _swap_plan(program, me, cx)
     yield from barrier_gen()
 
     values: list[tuple[int, int, int]] = []
     futures_waited = 0
     promises_done = 0
+    # continuation-swap bookkeeping: each fired callback stands in for one
+    # waited future, so the completion counts match the baseline exactly
+    cont_issued = 0
+    cont_fired = [0]
+    cont_counted = 0
     for phase_i, phase in enumerate(program.phases):
         pending: list[tuple[int, object, bool]] = []
         prom = Promise()
+        phase_ctr = None
+        ctr_members = 0
+        if cx == "counter":
+            ctr_members = sum(
+                1 for (p, _s), on in swaps.items() if p == phase_i and on
+            )
+            if ctr_members:
+                phase_ctr = CxCounter(ctr_members)
 
         def wait_pending():
-            nonlocal futures_waited
+            nonlocal futures_waited, cont_counted
             for serial, fut, record in pending:
                 v = yield from fut.wait_gen()
                 futures_waited += 1
                 if record:
                     values.append((phase_i, serial, int(v) & _MASK64))
             pending.clear()
+            # the wait_all fence covers swapped continuations too: spin
+            # until every issued callback has fired (off-node acks arrive
+            # through progress; local ones fired inline at issue)
+            while cont_fired[0] < cont_issued:
+                ctx.progress()
+                if cont_fired[0] >= cont_issued:
+                    break
+                yield BlockUntil(
+                    lambda: cont_fired[0] >= cont_issued
+                    or ctx.has_incoming()
+                )
+            futures_waited += cont_issued - cont_counted
+            cont_counted = cont_issued
+
+        def _on_cont():
+            cont_fired[0] += 1
+
+        def swap_cx(serial):
+            """The completion to attach to a swapped op (None = keep the
+            generated future tracking)."""
+            nonlocal cont_issued
+            if not swaps.get((phase_i, serial)):
+                return None
+            if cx == "continuation":
+                cont_issued += 1
+                return operation_cx.as_continuation(_on_cont)
+            return operation_cx.as_counter(phase_ctr)
 
         for serial, op in enumerate(phase.ops[me]):
             kind = op["kind"]
@@ -150,14 +240,26 @@ def _fuzz_body(program: FuzzProgram):
                 if op["track"] == "promise":
                     rput(op["value"], dest, operation_cx.as_promise(prom))
                 else:
-                    pending.append((serial, rput(op["value"], dest), False))
+                    swapped = swap_cx(serial)
+                    if swapped is not None:
+                        rput(op["value"], dest, swapped)
+                    else:
+                        pending.append(
+                            (serial, rput(op["value"], dest), False)
+                        )
             elif kind in ("amo_xor", "amo_add"):
                 dest = bases[op["owner"]] + op["idx"]
                 meth = ad.bit_xor if kind == "amo_xor" else ad.add
                 if op["track"] == "promise":
                     meth(dest, op["value"], operation_cx.as_promise(prom))
                 else:
-                    pending.append((serial, meth(dest, op["value"]), False))
+                    swapped = swap_cx(serial)
+                    if swapped is not None:
+                        meth(dest, op["value"], swapped)
+                    else:
+                        pending.append(
+                            (serial, meth(dest, op["value"]), False)
+                        )
             elif kind == "rpc_ff":
                 dest = bases[op["owner"]] + op["idx"]
                 rpc_ff(op["owner"], _apply_xor, dest.offset, dest.ts,
@@ -187,6 +289,11 @@ def _fuzz_body(program: FuzzProgram):
         # phase fence: settle local completions, deliver stray rpc_ff
         # updates, and only then let anyone read the next phase's roles
         yield from wait_pending()
+        if phase_ctr is not None:
+            # one blocking wait covers every swapped op of the phase; each
+            # member event stands in for one baseline future wait
+            yield from phase_ctr.wait_gen()
+            futures_waited += ctr_members
         yield from prom.finalize().wait_gen()
         promises_done += 1
         yield from barrier_gen()
@@ -203,7 +310,10 @@ def _fuzz_body(program: FuzzProgram):
 
 
 def run_program(
-    program: FuzzProgram, mode: str, scheduler: str = "thread"
+    program: FuzzProgram,
+    mode: str,
+    scheduler: str = "thread",
+    cx: str = "future",
 ) -> FuzzOutcome:
     """Execute ``program`` under ``mode``; a pure function of both.
 
@@ -212,6 +322,10 @@ def run_program(
     substrates are required to be observably identical — same tables,
     values, completions, *and clocks* — so the outcome is a pure function
     of (program, mode) alone.
+
+    ``cx`` picks the completion-kind swap variant (see module docstring);
+    non-baseline variants run with ``cx_continuations`` enabled and must
+    reproduce the baseline's tables/values/completions under every mode.
     """
     version, flags = mode_flags(mode)
     if scheduler == "event":
@@ -220,9 +334,13 @@ def run_program(
         raise ValueError(
             f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
         )
+    if cx not in CX_MODES:
+        raise ValueError(f"unknown cx variant {cx!r}; known: {CX_MODES}")
+    if cx != "future":
+        flags = flags.replace(cx_continuations=True)
     res = spmd_run(
         _fuzz_body,
-        args=(program,),
+        args=(program, cx),
         ranks=program.ranks,
         version=version,
         machine="generic",
@@ -243,6 +361,7 @@ def check_program(
     program: FuzzProgram,
     modes: tuple[str, ...] = MODES,
     schedulers: tuple[str, ...] = ("thread",),
+    cx_modes: tuple[str, ...] = (),
 ) -> list[str]:
     """Run ``program`` under every mode; describe any disagreement.
 
@@ -253,6 +372,12 @@ def check_program(
     runs on each extra substrate, and those runs must match the first
     substrate's outcome *exactly* — clocks included — since the scheduler
     swap is an implementation detail, not a semantic mode.
+
+    ``cx_modes`` adds completion-kind swap variants ("continuation" /
+    "counter"): each (mode, cx) run must reproduce that mode's future
+    baseline on tables, values, and completion counts (clocks exempt —
+    the swap changes which actions are charged), and must itself be
+    bit-identical, clocks included, across the scheduler substrates.
     """
     outcomes = {
         mode: run_program(program, mode, schedulers[0]) for mode in modes
@@ -260,21 +385,22 @@ def check_program(
     base_mode = modes[0]
     base = outcomes[base_mode]
     mismatches = []
+
+    def compare(other, ref, what: str, clocks: bool) -> None:
+        if other.tables != ref.tables:
+            mismatches.append(f"final memory differs: {what}")
+        if other.values != ref.values:
+            mismatches.append(f"per-op values differ: {what}")
+        if other.completions != ref.completions:
+            mismatches.append(
+                f"completion counts differ: {what} "
+                f"({ref.completions} vs {other.completions})"
+            )
+        if clocks and other.clock_ns != ref.clock_ns:
+            mismatches.append(f"virtual clocks differ: {what}")
+
     for mode in modes[1:]:
-        other = outcomes[mode]
-        if other.tables != base.tables:
-            mismatches.append(
-                f"final memory differs: {base_mode} vs {mode}"
-            )
-        if other.values != base.values:
-            mismatches.append(
-                f"per-op values differ: {base_mode} vs {mode}"
-            )
-        if other.completions != base.completions:
-            mismatches.append(
-                f"completion counts differ: {base_mode} vs {mode} "
-                f"({base.completions} vs {other.completions})"
-            )
+        compare(outcomes[mode], base, f"{base_mode} vs {mode}", False)
     for scheduler in schedulers[1:]:
         for mode in modes:
             other = run_program(program, mode, scheduler)
@@ -283,4 +409,20 @@ def check_program(
                     f"scheduler substrates disagree under {mode}: "
                     f"{schedulers[0]} vs {scheduler}"
                 )
+    for cx in cx_modes:
+        if cx == "future":
+            continue
+        for mode in modes:
+            swapped = run_program(program, mode, schedulers[0], cx=cx)
+            compare(
+                swapped, outcomes[mode],
+                f"{mode}/future vs {mode}/{cx}", False,
+            )
+            for scheduler in schedulers[1:]:
+                other = run_program(program, mode, scheduler, cx=cx)
+                if other != swapped:
+                    mismatches.append(
+                        "scheduler substrates disagree under "
+                        f"{mode}/{cx}: {schedulers[0]} vs {scheduler}"
+                    )
     return mismatches

@@ -202,6 +202,18 @@ class FeatureFlags:
         per-charge draw, so a noisy run with default flags silently
         resolves to the unbatched model (explicitly requesting both still
         raises).
+    cx_continuations:
+        Notifiable completion objects beyond futures/promises (see
+        :mod:`repro.core.completions` and DESIGN.md §13): continuation
+        completions (``operation_cx.as_continuation(fn)`` — the callback
+        runs inline at whichever agent observes completion, with zero
+        future/cell allocation) and counter completions
+        (:class:`~repro.core.completions.CxCounter` — N operation events
+        aggregate into one notification, targetable by ``wait_hints`` as
+        a unit).  Off by default on every build: with the flag off the
+        factories raise ``CompletionError`` and no code path changes, so
+        the runtime is bit-identical to the future/promise-only
+        behaviour.
     """
 
     eager_notification: bool
@@ -234,6 +246,7 @@ class FeatureFlags:
     sched_event_loop: bool = False
     sched_wake_list: bool = True
     cost_batching: bool = True
+    cx_continuations: bool = False
 
     def __post_init__(self):
         """Reject unusable aggregation knobs at construction.

@@ -382,5 +382,12 @@ class ProgressEngine:
             return ctx.flush_aggregation(reason=reason)
         agg = ctx.am_agg
         if agg is not None and agg.has_pending():
-            return agg.flush_for_wait(target.dst_rank)
+            dsts = target.flush_dsts
+            if len(dsts) > 1:
+                # a counter wait: every member destination is awaited, so
+                # each gets the targeted-flush treatment (ride-alongs and
+                # age flushes are handled inside the first call; the rest
+                # only ship their own buffer if still pending)
+                return sum(agg.flush_for_wait(d) for d in dsts)
+            return agg.flush_for_wait(dsts[0] if dsts else None)
         return 0

@@ -43,18 +43,40 @@ class WaitTarget:
         Destination rank of the awaited operation when it was injected
         off-node (``None`` for local operations) — the aggregator's
         flush hint.
+    dst_ranks:
+        Destination ranks of a *multi-operation* wait (a
+        :class:`~repro.core.completions.CxCounter` aggregates N member
+        operations; waiting on the counter flushes every member's
+        off-node destination).  Empty for single-operation waits.
     op:
         Short label of the waiting construct (``"future"``,
-        ``"barrier"``) for diagnostics.
+        ``"counter"``, ``"barrier"``) for diagnostics.
     """
 
     cell: Optional[Any] = None
     dst_rank: Optional[int] = None
+    dst_ranks: tuple = ()
     op: str = "future"
 
     @property
     def targeted(self) -> bool:
         """Whether this target narrows the wait at all (a cell to drain
-        toward or a destination to flush); non-targeted waits keep the
+        toward or destinations to flush); non-targeted waits keep the
         engine's drain-everything/flush-all behaviour."""
-        return self.cell is not None or self.dst_rank is not None
+        return (
+            self.cell is not None
+            or self.dst_rank is not None
+            or bool(self.dst_ranks)
+        )
+
+    @property
+    def flush_dsts(self) -> tuple:
+        """Every destination this wait should flush toward (the single
+        ``dst_rank`` and the counter's ``dst_ranks``, deduplicated in
+        rank order)."""
+        if not self.dst_ranks:
+            return (self.dst_rank,) if self.dst_rank is not None else ()
+        dsts = set(self.dst_ranks)
+        if self.dst_rank is not None:
+            dsts.add(self.dst_rank)
+        return tuple(sorted(dsts))

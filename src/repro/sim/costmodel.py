@@ -81,6 +81,20 @@ class CostAction(enum.Enum):
     PROMISE_REGISTER = "promise_register"
     PROMISE_FULFILL = "promise_fulfill"
 
+    # -- notifiable completions: continuations / counters ------------------
+    #: running one continuation completion's callback inline at the agent
+    #: that observed completion (``notify_sync`` fast path or the progress
+    #: engine's ack dispatch) — the whole per-op cost of the callback path,
+    #: replacing cell allocation + ready-check + wait machinery
+    CX_CONTINUATION_DISPATCH = "cx_continuation_dispatch"
+    #: one member operation signalling its :class:`CxCounter` (an integer
+    #: decrement on the shared cell; the N-ops-to-one-notification
+    #: amortization counters exist to buy)
+    CX_COUNTER_SIGNAL = "cx_counter_signal"
+    #: the counter tripping: the Nth signal fires the single aggregate
+    #: notification (callback run + wake push), charged once per counter
+    CX_COUNTER_TRIP = "cx_counter_trip"
+
     # -- pointer / dispatch ------------------------------------------------
     LOCALITY_BRANCH = "locality_branch"
     GPTR_DOWNCAST = "gptr_downcast"

@@ -139,6 +139,9 @@ INTEL = MachineProfile(
         promise_register=6.0,
         promise_fulfill=8.0,
         completion_process=3.0,
+        cx_continuation_dispatch=3.0,
+        cx_counter_signal=2.0,
+        cx_counter_trip=6.0,
         am_inject=90.0,
         am_poll=30.0,
         am_execute=70.0,
@@ -192,6 +195,9 @@ IBM = MachineProfile(
         promise_register=9.0,
         promise_fulfill=13.0,
         completion_process=4.0,
+        cx_continuation_dispatch=4.0,
+        cx_counter_signal=2.5,
+        cx_counter_trip=8.0,
         am_inject=130.0,
         am_poll=45.0,
         am_execute=100.0,
@@ -245,6 +251,9 @@ MARVELL = MachineProfile(
         promise_register=6.0,
         promise_fulfill=10.0,
         completion_process=5.0,
+        cx_continuation_dispatch=5.0,
+        cx_counter_signal=3.5,
+        cx_counter_trip=10.0,
         am_inject=160.0,
         am_poll=55.0,
         am_execute=120.0,
@@ -295,6 +304,9 @@ GENERIC = MachineProfile(
         promise_register=2.0,
         promise_fulfill=2.0,
         completion_process=2.0,
+        cx_continuation_dispatch=3.0,
+        cx_counter_signal=2.0,
+        cx_counter_trip=5.0,
         am_inject=100.0,
         am_poll=30.0,
         am_execute=80.0,

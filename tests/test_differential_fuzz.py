@@ -23,6 +23,7 @@ import random
 import pytest
 
 from repro.fuzz import (
+    CX_MODES,
     MODES,
     check_program,
     generate_program,
@@ -31,6 +32,7 @@ from repro.fuzz import (
     program_to_json,
     run_program,
 )
+from repro.fuzz.runner import _swap_plan
 
 #: the tier-1 sweep seed (CI adds more, plus a run-derived one)
 SWEEP_SEED = 1
@@ -143,6 +145,77 @@ class TestDifferentialSweep:
                 with_memory += 1
         assert with_values >= 20
         assert with_memory >= 20
+
+
+class TestCxModes:
+    """The completion-kind swap dimension: future-tracked ops replayed
+    as continuation- or counter-tracked must reproduce the future
+    baseline's memory, values, and completion counts in every mode."""
+
+    def test_cx_mode_names(self):
+        assert CX_MODES == ("future", "continuation", "counter")
+
+    def test_swap_plan_is_deterministic_and_nonvacuous(self):
+        """The swap coin is a pure function of (program, rank, kind),
+        and the corpus genuinely contains swappable ops."""
+        swapped = 0
+        for seed in range(20):
+            prog = generate_program(SWEEP_SEED * 1_000_003 + seed)
+            for me in range(prog.ranks):
+                a = _swap_plan(prog, me, "continuation")
+                b = _swap_plan(prog, me, "continuation")
+                assert a == b
+                assert _swap_plan(prog, me, "future") == {}
+                swapped += sum(a.values())
+                # the two kinds use different coins (independent plans)
+        assert swapped > 0
+
+    @pytest.mark.parametrize("cx", CX_MODES[1:])
+    def test_swapped_runs_reproduce_future_baseline(self, cx):
+        """40 programs x all modes: tables, values, and completion
+        counts equal the future baseline exactly (clocks exempt — the
+        swapped kinds charge different costs)."""
+        failures = []
+        for index in range(40):
+            prog = generate_program(SWEEP_SEED * 1_000_003 + index)
+            for mode in MODES:
+                base = run_program(prog, mode)
+                swapped = run_program(prog, mode, cx=cx)
+                if (
+                    swapped.tables != base.tables
+                    or swapped.values != base.values
+                    or swapped.completions != base.completions
+                ):
+                    failures.append((index, mode, cx))
+        assert not failures, f"cx-swap mismatches: {failures[:5]}"
+
+    @pytest.mark.parametrize("cx", CX_MODES[1:])
+    def test_cx_replay_bit_identical(self, cx):
+        rng = random.Random(11)
+        for _ in range(4):
+            prog = generate_program(rng.randrange(1 << 30))
+            first = run_program(prog, "adaptive", cx=cx)
+            second = run_program(prog, "adaptive", cx=cx)
+            assert first == second
+            assert first.clock_ns == second.clock_ns
+
+    def test_check_program_covers_cx_modes(self):
+        """check_program(cx_modes=...) folds the swap dimension into
+        the standard sweep (the CI entry point's code path)."""
+        for index in range(8):
+            prog = generate_program(SWEEP_SEED * 1_000_003 + index)
+            assert check_program(prog, cx_modes=CX_MODES[1:]) == []
+
+    def test_cross_scheduler_exact_with_cx(self):
+        """Both substrates agree bit-for-bit (clocks included) on
+        swapped runs."""
+        for index in range(6):
+            prog = generate_program(SWEEP_SEED * 1_000_003 + index)
+            for cx in CX_MODES[1:]:
+                a = run_program(prog, "adaptive", "thread", cx=cx)
+                b = run_program(prog, "adaptive", "event", cx=cx)
+                assert a == b
+                assert a.clock_ns == b.clock_ns
 
 
 class TestReplay:

@@ -35,6 +35,13 @@ wait_hints           checksum unchanged, and zero targeted wait flushes —
 Timing (``solve_ns``) is *expected* to differ across the notification
 and aggregation axes — that is the paper's whole subject — so no
 cross-axis timing equality is asserted beyond the rows above.
+
+Two further axis families are swept separately below: the mechanism
+flags (``sched_wake_list``, ``cost_batching`` — pure implementation
+strategies, bit-identical on every observable) and ``cx_continuations``
+(a *gate* on the continuation/counter completion kinds: bit-identical
+for workloads that request neither, documented expectations for the
+``cont`` workload that does).
 """
 
 import itertools
@@ -224,3 +231,120 @@ class TestMechanismFlagsBitIdentical:
 
     def test_cost_batching_bit_identical(self, mech_matrix):
         self._assert_identical(mech_matrix, "unbatched")
+
+
+# The ``cx_continuations`` axis: the flag *gates* two new completion
+# kinds (continuations, counters — DESIGN.md §13) but must be perfectly
+# inert for workloads that do not request them — bit-identical on every
+# observable, timing included, like the mechanism flags above.  For a
+# workload that *does* use them (the ``cont`` GUPS variant), the
+# documented expectations hold across the mechanism combos: the oracle
+# checksum is preserved, the continuation-dispatch charge appears, and
+# no future/promise cells are allocated for the tracked updates.
+CX_BASE_AXES = (
+    "am_aggregation",
+    "progress_adaptive",
+    "sched_event_loop",
+)
+
+CX_CFG = GupsConfig(
+    variant="cont", table_log2=8, updates_per_rank=16, batch=8
+)
+
+
+def _cx_combos():
+    for version in (VE, VD):
+        for bits in itertools.product(
+            (False, True), repeat=len(CX_BASE_AXES)
+        ):
+            yield version, {
+                name for name, bit in zip(CX_BASE_AXES, bits) if bit
+            }
+
+
+class TestCxContinuationsDimension:
+    @pytest.fixture(scope="class")
+    def cx_off_matrix(self):
+        """(version, on-set, flag?) -> agg-workload result: the workload
+        issues no continuation/counter requests, so the flag is dead."""
+        results = {}
+        for version, on in _cx_combos():
+            for cx in (False, True):
+                flags = flags_for(version).replace(
+                    **{name: True for name in on}, cx_continuations=cx
+                )
+                results[(version, frozenset(on), cx)] = run_gups(
+                    CFG,
+                    ranks=4,
+                    n_nodes=2,
+                    conduit="udp",
+                    version=version,
+                    machine="generic",
+                    flags=flags,
+                )
+        return results
+
+    @pytest.fixture(scope="class")
+    def cx_on_matrix(self):
+        """(version, on-set) -> cont-workload result, flag on."""
+        results = {}
+        for version, on in _cx_combos():
+            flags = flags_for(version).replace(
+                **{name: True for name in on}, cx_continuations=True
+            )
+            results[(version, frozenset(on))] = run_gups(
+                CX_CFG,
+                ranks=4,
+                n_nodes=2,
+                conduit="udp",
+                version=version,
+                machine="generic",
+                flags=flags,
+            )
+        return results
+
+    def test_flag_bit_identical_without_requests(self, cx_off_matrix):
+        for (version, on, cx), res in cx_off_matrix.items():
+            if cx:
+                continue
+            other = cx_off_matrix[(version, on, True)]
+            key = (version, sorted(on))
+            assert other.solve_ns == res.solve_ns, key
+            assert other.checksum == res.checksum, key
+            assert other.am_injects == res.am_injects, key
+            assert other.progress_polls == res.progress_polls, key
+
+    def test_cont_workload_matches_oracle_everywhere(self, cx_on_matrix):
+        bad = [
+            (version, sorted(on))
+            for (version, on), res in cx_on_matrix.items()
+            if not res.matches_oracle
+        ]
+        assert not bad, f"checksum mismatches: {bad}"
+
+    def test_cont_spans_are_eager_class_on_defer_build(self):
+        """The documented flag-on expectation: continuation-tracked
+        updates never park, so their notification gaps land in the
+        ``eager`` class even on the deferred-notification build."""
+        res = run_gups(
+            CX_CFG, ranks=4, n_nodes=2, conduit="udp", version=VD,
+            machine="generic",
+            flags=flags_for(VD).replace(
+                cx_continuations=True, obs_spans=True
+            ),
+        )
+        assert res.matches_oracle
+        modes = {m for (m, _loc) in res.obs_stats.gaps if m != "none"}
+        assert modes == {"eager"}, modes
+
+    def test_event_loop_substrate_bit_identical(self, cx_on_matrix):
+        """The cont workload is substrate-independent: each combo's
+        event-loop run reproduces the thread run exactly."""
+        for (version, on), res in cx_on_matrix.items():
+            if "sched_event_loop" in on:
+                continue
+            other = cx_on_matrix[(version, on | {"sched_event_loop"})]
+            key = (version, sorted(on))
+            assert other.solve_ns == res.solve_ns, key
+            assert other.checksum == res.checksum, key
+            assert other.progress_polls == res.progress_polls, key

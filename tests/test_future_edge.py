@@ -7,6 +7,7 @@ from repro.core.future import Future, make_future
 from repro.core.when_all import when_all
 from repro.errors import FutureError
 from repro.runtime.config import Version
+from repro.sim.costmodel import CostAction
 
 
 class TestThenEdgeCases:
@@ -48,6 +49,56 @@ class TestThenEdgeCases:
         assert not combined._cell.ready
         cell.fulfill()
         assert combined.result_tuple() == (1, 7)
+
+
+class TestThenScheduleCharge:
+    """Regression pins for the FUTURE_CALLBACK_SCHEDULE accounting.
+
+    The schedule charge models registering the callback machinery on the
+    future's cell; it is paid at most once per future.  A ready future on
+    a deferred build used to re-charge it on *every* ``.then`` — and a
+    future that was charged while pending re-charged once it turned
+    ready — double-counting work the runtime only performs once."""
+
+    def _charges(self, c):
+        return c.costs.count(CostAction.FUTURE_CALLBACK_SCHEDULE)
+
+    def test_ready_defer_second_then_not_recharged(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        f = make_future(1)
+        k0 = self._charges(c)
+        f.then(lambda v: v)
+        assert self._charges(c) == k0 + 1
+        f.then(lambda v: v)  # the regression: this used to charge again
+        assert self._charges(c) == k0 + 1
+
+    def test_pending_then_ready_rethen_not_recharged(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        cell = PromiseCell(deps=1)
+        f = Future(cell)
+        k0 = self._charges(c)
+        f.then(lambda: None)  # pending path: charged here
+        assert self._charges(c) == k0 + 1
+        cell.fulfill()
+        f.then(lambda: None)  # ready now; already charged while pending
+        assert self._charges(c) == k0 + 1
+
+    def test_distinct_futures_each_charge(self, versioned_ctx):
+        c = versioned_ctx(Version.V2021_3_6_DEFER)
+        k0 = self._charges(c)
+        make_future(1).then(lambda v: v)
+        make_future(2).then(lambda v: v)
+        assert self._charges(c) == k0 + 2
+
+    def test_ready_eager_fast_path_still_free(self, versioned_ctx):
+        """The eager-build ready fast path never paid the charge and
+        still must not (the dedupe flag is irrelevant there)."""
+        c = versioned_ctx(Version.V2021_3_6_EAGER)
+        f = make_future(1)
+        k0 = self._charges(c)
+        f.then(lambda v: v)
+        f.then(lambda v: v)
+        assert self._charges(c) == k0
 
 
 class TestWhenAllEdgeCases:

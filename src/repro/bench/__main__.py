@@ -11,13 +11,23 @@ Reproduces any of the paper's figures without pytest:
     python -m repro.bench sched --out BENCH_sched.json
     python -m repro.bench serve --out BENCH_serve.json
     python -m repro.bench cont --out BENCH_cont.json
+    python -m repro.bench ab --quick
+    python -m repro.bench ab --spec eager_defer --gate
+    python -m repro.bench validate
     python -m repro.bench all
     python -m repro.bench trace --variant rma_future --out gups.trace.json
+
+Artifact hygiene: a ``--quick`` run of any artifact-writing subcommand
+defaults its output to ``BENCH_<name>.quick.json`` so CI gate baselines
+(the canonical ``BENCH_<name>.json``) are never clobbered by a smoke
+sweep; an explicit ``--out`` pointing at an existing full artifact is
+refused unless ``--force`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.harness import (
@@ -133,11 +143,39 @@ def cmd_trace(args) -> None:
         print("open in https://ui.perfetto.dev or chrome://tracing")
 
 
+def _resolve_artifact_out(name: str, args) -> str:
+    """The output path of an artifact-writing subcommand.
+
+    Quick runs default to ``BENCH_<name>.quick.json`` — the canonical
+    ``BENCH_<name>.json`` files are CI gate baselines and a smoke sweep
+    silently replacing one would gut the gate.  An *explicit* ``--out``
+    that points a quick run at an existing full artifact is refused
+    unless ``--force`` says the clobbering is intended.
+    """
+    out = args.out
+    if out is None:
+        return f"BENCH_{name}.quick.json" if args.quick else f"BENCH_{name}.json"
+    if args.quick and not getattr(args, "force", False):
+        try:
+            with open(out) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and existing.get("quick") is False:
+            raise SystemExit(
+                f"refusing to overwrite the full baseline {out} with a "
+                "--quick run (quick artifacts default to "
+                f"BENCH_{name}.quick.json; pass --force to mean it)"
+            )
+    return out
+
+
 def cmd_sched(args) -> None:
     from repro.bench.schedbench import write_sched_bench
 
+    out = _resolve_artifact_out("sched", args)
     doc = write_sched_bench(
-        args.out, quick=args.quick, progress=lambda m: print(m, flush=True)
+        out, quick=args.quick, progress=lambda m: print(m, flush=True)
     )
     head = doc["headline"]
     print(
@@ -154,15 +192,16 @@ def cmd_sched(args) -> None:
         f"gups speedup (event vs thread):    "
         f"{head['gups_speedup_min']:.1f}x .. {head['gups_speedup_max']:.1f}x"
     )
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
 
 
 def cmd_serve(args) -> None:
     from repro.bench.report import format_serve_report
     from repro.bench.servebench import validate_serve_doc, write_serve_bench
 
+    out = _resolve_artifact_out("serve", args)
     doc = write_serve_bench(
-        args.out, quick=args.quick, progress=lambda m: print(m, flush=True)
+        out, quick=args.quick, progress=lambda m: print(m, flush=True)
     )
     errors = validate_serve_doc(doc)
     if errors:
@@ -178,14 +217,15 @@ def cmd_serve(args) -> None:
             doc,
         )
     )
-    print(f"\nwrote {args.out} (schema valid)")
+    print(f"\nwrote {out} (schema valid)")
 
 
 def cmd_cont(args) -> None:
     from repro.bench.contbench import write_cont_bench
 
+    out = _resolve_artifact_out("cont", args)
     doc = write_cont_bench(
-        args.out, quick=args.quick, progress=lambda m: print(m, flush=True)
+        out, quick=args.quick, progress=lambda m: print(m, flush=True)
     )
     head = doc["headline"]
     for c in doc["comparisons"]:
@@ -201,7 +241,92 @@ def cmd_cont(args) -> None:
         f"(gap ratio {head['gap_ratio_min']:.1f}x .. "
         f"{head['gap_ratio_max']:.1f}x)"
     )
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
+
+
+def cmd_ab(args) -> None:
+    from repro.bench import ab
+    from repro.bench.schema import validate_artifact
+
+    try:
+        specs = ab.select_specs(args.spec)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    if (args.out or args.baseline) and len(specs) != 1:
+        raise SystemExit(
+            "--out/--baseline apply to a single spec; select one with "
+            "--spec"
+        )
+    gate_failures: list[str] = []
+    for spec in specs:
+        out = _resolve_artifact_out(
+            f"ab_{spec.name}",
+            argparse.Namespace(
+                out=args.out, quick=args.quick, force=args.force
+            ),
+        )
+        doc = ab.write_ab_spec(
+            out, spec, quick=args.quick,
+            progress=lambda m: print(m, flush=True),
+        )
+        errors = validate_artifact(doc, path=out)
+        if errors:
+            raise SystemExit(
+                "ab artifact failed schema validation:\n  "
+                + "\n  ".join(errors)
+            )
+        for mname, h in doc["deterministic"]["headline"].items():
+            print(
+                f"{spec.name}.{mname}: arm-b speedup "
+                f"{h['speedup_mean_min']:g}x .. {h['speedup_mean_max']:g}x "
+                f"over {h['points']} point(s)"
+            )
+        print(f"wrote {out} (schema valid)")
+        if args.gate:
+            baseline_path = args.baseline or f"BENCH_ab_{spec.name}.json"
+            try:
+                with open(baseline_path) as fh:
+                    baseline = json.load(fh)
+            except (OSError, ValueError) as exc:
+                gate_failures.append(
+                    f"{spec.name}: baseline {baseline_path} unreadable "
+                    f"({exc})"
+                )
+                continue
+            problems = ab.gate_ab(
+                doc, baseline,
+                allow_quick_baseline=args.baseline is not None,
+            )
+            if problems:
+                gate_failures.extend(
+                    f"{spec.name}: {p}" for p in problems
+                )
+            else:
+                print(f"{spec.name}: gate OK vs {baseline_path}")
+    if gate_failures:
+        raise SystemExit(
+            "ab gate failed:\n  " + "\n  ".join(gate_failures)
+        )
+
+
+def cmd_validate(args) -> None:
+    import glob
+
+    from repro.bench.schema import validate_artifact_file
+
+    paths = args.paths or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found")
+        return
+    total = 0
+    for path in paths:
+        errors = validate_artifact_file(path)
+        print(f"{path}: {'OK' if not errors else 'FAIL'}")
+        for e in errors:
+            print(f"  {e}")
+        total += len(errors)
+    if total:
+        raise SystemExit(f"{total} schema problem(s)")
 
 
 def cmd_all(args) -> None:
@@ -295,18 +420,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_trace)
 
+    def artifact_io(p, name, quick_help):
+        p.add_argument(
+            "--out", default=None,
+            help=f"artifact path (default: BENCH_{name}.json, or "
+            f"BENCH_{name}.quick.json under --quick)",
+        )
+        p.add_argument("--quick", action="store_true", help=quick_help)
+        p.add_argument(
+            "--force", action="store_true",
+            help="allow a --quick run to overwrite a full artifact at an "
+            "explicit --out path",
+        )
+
     p = sub.add_parser(
         "sched",
         help="scheduler substrate benchmark (thread vs event loop) "
         "-> BENCH_sched.json",
     )
-    p.add_argument(
-        "--out", default="BENCH_sched.json",
-        help="artifact path (default: BENCH_sched.json in the cwd)",
-    )
-    p.add_argument(
-        "--quick", action="store_true",
-        help="small sweep for CI smoke (seconds instead of minutes)",
+    artifact_io(
+        p, "sched",
+        "small sweep for CI smoke (seconds instead of minutes)",
     )
     p.set_defaults(fn=cmd_sched)
 
@@ -315,13 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop DHT serving saturation sweep "
         "-> BENCH_serve.json",
     )
-    p.add_argument(
-        "--out", default="BENCH_serve.json",
-        help="artifact path (default: BENCH_serve.json in the cwd)",
-    )
-    p.add_argument(
-        "--quick", action="store_true",
-        help="small sweep for CI smoke (identical workload, fewer "
+    artifact_io(
+        p, "serve",
+        "small sweep for CI smoke (identical workload, fewer "
         "rates/configs)",
     )
     p.set_defaults(fn=cmd_serve)
@@ -331,15 +461,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="continuation vs future completion-path gap sweep "
         "-> BENCH_cont.json",
     )
-    p.add_argument(
-        "--out", default="BENCH_cont.json",
-        help="artifact path (default: BENCH_cont.json in the cwd)",
-    )
-    p.add_argument(
-        "--quick", action="store_true",
-        help="small sweep for CI smoke (fewer batches, fewer ranks)",
+    artifact_io(
+        p, "cont",
+        "small sweep for CI smoke (fewer batches, fewer seeds)",
     )
     p.set_defaults(fn=cmd_cont)
+
+    from repro.bench.ab import SPECS
+
+    p = sub.add_parser(
+        "ab",
+        help="declarative A/B flag-toggle sweeps "
+        "-> BENCH_ab_<spec>.json (one per spec)",
+    )
+    p.add_argument(
+        "--spec", action="append", choices=sorted(SPECS), default=None,
+        help="spec(s) to run (repeatable; default: all registered specs)",
+    )
+    p.add_argument(
+        "--gate", action="store_true",
+        help="after running, compare against the committed "
+        "BENCH_ab_<spec>.json and fail on drift beyond the baseline's "
+        "seed-variation confidence interval",
+    )
+    p.add_argument(
+        "--baseline", default=None,
+        help="gate against this artifact instead of the committed one "
+        "(single --spec only; quick baselines allowed here)",
+    )
+    artifact_io(
+        p, "ab_<spec>",
+        "subset sweep for CI smoke (same workload params, fewer "
+        "points/seeds — cells stay comparable to full baselines)",
+    )
+    p.set_defaults(fn=cmd_ab)
+
+    p = sub.add_parser(
+        "validate",
+        help="schema-validate benchmark artifacts (default: every "
+        "BENCH_*.json in the cwd)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="artifact files to check (default: glob BENCH_*.json)",
+    )
+    p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("all", help="every figure, default parameters")
     common(p)

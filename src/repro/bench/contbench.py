@@ -22,6 +22,12 @@ Every cell runs on both scheduler substrates and asserts bit-identical
 checksums and virtual clocks (the benchmark doubles as a parity smoke
 test), and every variant's result must pass HPCC verification exactly
 (atomics never race within an update).
+
+The future-vs-cont comparison itself now runs on the shared A/B engine
+(:mod:`repro.bench.ab`, spec ``cont_future`` — ``cx_continuations`` is
+the one toggled flag); this module rebuilds the legacy ``BENCH_cont``
+row/comparison shape from the engine's cells and adds the promise rows,
+which are descriptive context rather than an arm of the experiment.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import sys
 import time
 
 from repro.apps.gups import GupsConfig, run_gups
+from repro.bench import ab as _ab
 from repro.runtime.config import Version, flags_for
 
 #: batch sizes of the sweep (updates per tracked batch)
@@ -46,16 +53,9 @@ CONT_VARIANTS = (
 
 
 def _mean_update_gap(stats) -> tuple[float, int]:
-    """Weighted mean notification gap over the operation spans (the
-    ``mode='none'`` classes are collectives with no notification)."""
-    total = 0.0
-    n = 0
-    for (mode, _loc), gap in stats.gaps.items():
-        if mode == "none":
-            continue
-        total += gap.mean_ns * gap.count
-        n += gap.count
-    return (total / n if n else 0.0), n
+    """Weighted mean notification gap over the operation spans (moved to
+    :func:`repro.bench.ab.mean_update_gap`; re-exported for callers)."""
+    return _ab.mean_update_gap(stats)
 
 
 def cont_cell(
@@ -121,24 +121,72 @@ def cont_cell(
     }
 
 
+def _legacy_row(
+    variant: str, gups_variant: str, batch: int, spec, cell: dict, env: dict
+) -> dict:
+    """An A/B engine cell rendered as the legacy ``BENCH_cont`` row."""
+    m, d = cell["metrics"], cell["details"]
+    p = spec.workload_params
+    return {
+        "variant": variant,
+        "gups_variant": gups_variant,
+        "batch": batch,
+        "ranks": p["ranks"],
+        "updates_per_rank": p["updates_per_rank"],
+        "version": spec.version.value,
+        "machine": p["machine"],
+        "solve_ns": m["solve_ns"],
+        "gups": d["gups"],
+        "mean_gap_ns": round(m["mean_gap_ns"], 3),
+        "gap_count": d["gap_count"],
+        "gap_modes": d["gap_modes"],
+        "thread_s": env["thread_s"],
+        "event_s": env["event_s"],
+    }
+
+
 def run_cont_bench(*, quick: bool = False, progress=None) -> dict:
-    """Run the full continuation benchmark; returns the artifact doc."""
+    """Run the full continuation benchmark; returns the artifact doc.
+
+    The future/cont arms come from one :func:`repro.bench.ab.run_ab_spec`
+    sweep of the ``cont_future`` spec (first seed's cells — the legacy
+    rows are single-seed); the promise rows reuse the same workload
+    off-spec via ``params_override``.
+    """
 
     def say(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
-    sweep = BATCH_SWEEP[1:3] if quick else BATCH_SWEEP
-    ranks = 4 if quick else 8
-    updates = 32 if quick else 96
+    spec = _ab.CONT_FUTURE
+    ab_doc = _ab.run_ab_spec(spec, quick=quick, progress=progress)
+    det = ab_doc["deterministic"]
+    env_cells = ab_doc["environment"]["cells"]
+    seed0 = det["seeds"][0]
+    arm_flags = spec.arm_flags()
+    arm_of = {"future": det["arms"]["a"], "cont": det["arms"]["b"]}
     rows = []
-    for batch in sweep:
+    for point_row in det["points"]:
+        batch = point_row["point"]
         for variant, gups_variant in CONT_VARIANTS:
-            say(f"cont sweep: {variant} batch={batch} ...")
-            rows.append(cont_cell(
-                variant, gups_variant, batch,
-                ranks=ranks, updates_per_rank=updates,
-            ))
+            label = arm_of.get(variant)
+            if label is None:
+                # promise is context, not an arm: same base flags as the
+                # future arm, tracking idiom swapped via params_override
+                say(f"cont sweep: {variant} batch={batch} ...")
+                cell, env = _ab.run_cell(
+                    spec,
+                    point=batch,
+                    flags=arm_flags[det["arms"]["a"]],
+                    seed=seed0,
+                    params_override={"variant": gups_variant},
+                )
+            else:
+                cell = point_row["cells"][label][str(seed0)]
+                env = env_cells[f"{batch}|{label}|{seed0}"]
+            rows.append(
+                _legacy_row(variant, gups_variant, batch, spec, cell, env)
+            )
 
     by_batch = {}
     for row in rows:
@@ -163,6 +211,7 @@ def run_cont_bench(*, quick: bool = False, progress=None) -> dict:
         "invocation": "python -m repro.bench cont",
         "python": sys.version.split()[0],
         "quick": quick,
+        "ab_spec": spec.name,
         "description": (
             "GUPS atomic-update sweep on the deferred-notification build: "
             "mean notification gap of the continuation callback path "

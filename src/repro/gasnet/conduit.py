@@ -188,9 +188,7 @@ class Conduit:
                 label=label,
             )
         )
-        sched = self.world.scheduler
-        if sched is not None:
-            sched.notify_incoming(dst_rank)
+        self.world.notify_incoming(dst_rank)
 
     def send_bundle(
         self,
@@ -243,9 +241,7 @@ class Conduit:
                 label=f"am_bundle[{len(entries)}]",
             )
         )
-        sched = self.world.scheduler
-        if sched is not None:
-            sched.notify_incoming(dst_rank)
+        self.world.notify_incoming(dst_rank)
 
     def has_incoming(self, rank: int) -> bool:
         return bool(self._inboxes[rank])

@@ -76,15 +76,26 @@ class HistogramSnapshot:
         Fixed buckets only bound the answer to the containing bucket, so
         this interpolates linearly by rank inside it, clamping the bucket
         bounds to the observed ``min``/``max`` (which makes the first and
-        overflow buckets answerable at all).  For guaranteed-relative-
-        error quantiles use :class:`~repro.obs.percentiles.\
-PercentileSketch`; this helper exists so the *existing* gap/depth
-        histograms can report a p99 without changing their storage.
+        overflow buckets answerable at all).  The extreme quantiles are
+        known exactly — ``q=0.0`` returns the observed minimum and
+        ``q=1.0`` the observed maximum — and no answer ever extrapolates
+        past the observed range (a single-sample histogram returns its
+        sample at every ``q``).  For guaranteed-relative-error quantiles
+        use :class:`~repro.obs.percentiles.PercentileSketch`; this helper
+        exists so the *existing* gap/depth histograms can report a p99
+        without changing their storage.
         """
         if not (0.0 <= q <= 1.0):
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.n:
             return 0.0
+        # the extremes are recorded, not estimated: interpolation would
+        # otherwise place q=1.0 strictly inside the containing bucket —
+        # wrong in the overflow bucket, where max is the only upper bound
+        if q <= 0.0:
+            return float(self.min)
+        if q >= 1.0:
+            return float(self.max)
         rank = q * (self.n - 1)
         seen = 0
         for i, count in enumerate(self.counts):

@@ -22,7 +22,7 @@ where the real implementation's ``#ifdef``/template specializations sit.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import UpcxxError
 
@@ -389,6 +389,30 @@ _FLAGS_BY_VERSION: dict[Version, FeatureFlags] = {
 def flags_for(version: Version) -> FeatureFlags:
     """The feature set of a given build."""
     return _FLAGS_BY_VERSION[version]
+
+
+def flag_names() -> tuple[str, ...]:
+    """Every :class:`FeatureFlags` field name (spec validation helper)."""
+    return tuple(f.name for f in fields(FeatureFlags))
+
+
+def flag_delta(a: FeatureFlags, b: FeatureFlags) -> dict:
+    """Field name -> ``(a_value, b_value)`` for every flag on which the
+    two feature sets disagree.
+
+    This is the A/B discipline's measurement device (see
+    :mod:`repro.bench.ab`): an experiment's two arms must differ in
+    *exactly* the declared toggle — the engine asserts
+    ``flag_delta(arm_a, arm_b)`` covers the toggle keys and nothing else,
+    so a spec can never silently compare configurations that drifted
+    apart in some unrelated knob.
+    """
+    out = {}
+    for f in fields(FeatureFlags):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if va != vb:
+            out[f.name] = (va, vb)
+    return out
 
 
 @dataclass(frozen=True)

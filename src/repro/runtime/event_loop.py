@@ -230,16 +230,20 @@ class EventLoopScheduler(SchedulerCore):
         if self._started:
             raise SchedulerError("scheduler already started")
         self._started = True
+        # wire the wake fabric: completion sites notify this loop and every
+        # ctx routes blocking through it.  spmd_run already attached when it
+        # built the loop (idempotent); for a nested/ambient world driven
+        # directly this is what keeps wake-list scheduling on instead of
+        # the old silent predicate-scan fallback.
+        world.attach_scheduler(self)
         contexts = world.contexts
         self._contexts = contexts
         genfunc = inspect.isgeneratorfunction(fn)
         for r in range(self.nranks):
-            ctx = contexts[r]
-            ctx.scheduler = self
             if genfunc:
                 self._tasks[r] = _GenTask(fn(*args))
             else:
-                self._tasks[r] = _ThreadShimTask(r, ctx, fn, args)
+                self._tasks[r] = _ThreadShimTask(r, contexts[r], fn, args)
         self._loop_thread = threading.current_thread()
         prev_ctx = current_ctx_or_none()
         try:

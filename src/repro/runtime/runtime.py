@@ -25,6 +25,7 @@ Example
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass, field
 from types import GeneratorType
@@ -100,17 +101,89 @@ class World:
         #: (filled in by spmd_run after the job completes)
         self.sched_switches = 0
 
-        #: the driving scheduler (either substrate), wired by spmd_run so
-        #: completion sites (conduit inbox pushes, the barrier epoch
-        #: advance) can notify parked wake-list waiters; None outside a
-        #: scheduled run (ambient worlds never park anyone)
+        #: the driving scheduler (either substrate), wired through
+        #: :meth:`attach_scheduler` by whichever driver runs this world —
+        #: ``spmd_run``, or :meth:`EventLoopScheduler.run
+        #: <repro.runtime.event_loop.EventLoopScheduler.run>` for
+        #: nested/ambient worlds driven directly — so completion sites
+        #: (conduit inbox pushes, the barrier epoch advance) can notify
+        #: parked wake-list waiters; None for a world nobody drives
+        #: (a world without a scheduler never parks anyone)
         self.scheduler = None
+        #: wake notifications that found no attached scheduler — the
+        #: observable form of the old silent fallback: the event is
+        #: dropped and any would-be waiter relies on the predicate scan
+        #: (see :meth:`notify_incoming` / :meth:`notify_barrier_epoch`)
+        self.wake_notify_misses = 0
+        self._wake_miss_noted = False
 
         # barrier state
         self._barrier_epoch = 0
         self._barrier_arrived = 0
         self._barrier_maxclock = 0.0
         self._barrier_release_ns = 0.0
+
+    # -- wake fabric ---------------------------------------------------------
+
+    def attach_scheduler(self, sched) -> None:
+        """Wire ``sched`` as this world's wake fabric.
+
+        Completion sites (conduit inbox pushes, barrier epoch advances)
+        notify the attached scheduler, every rank context routes its
+        blocking primitives through it, and the scheduler learns it has a
+        wake source (keyed blocks may park on wake bits).  Every driver
+        calls this — :func:`spmd_run` for both substrates *and*
+        :meth:`EventLoopScheduler.run
+        <repro.runtime.event_loop.EventLoopScheduler.run>` itself — so a
+        nested or ambient world driven directly gets wake-list scheduling,
+        not just the world ``spmd_run`` launched.  Idempotent for the same
+        scheduler; a world is driven by at most one scheduler at a time.
+        """
+        if self.scheduler is sched:
+            return
+        if self.scheduler is not None:
+            raise UpcxxError(
+                "world already has a driving scheduler attached"
+            )
+        self.scheduler = sched
+        for ctx in self.contexts:
+            ctx.scheduler = sched
+        sched.bind_wake_source(self)
+
+    def notify_incoming(self, rank: int) -> None:
+        """An AM landed in ``rank``'s inbox: wake it if it is parked on a
+        wake list.  With no scheduler attached the event is counted as a
+        miss (plus a one-time debug note) instead of vanishing silently —
+        any waiter then relies on the predicate scan."""
+        sched = self.scheduler
+        if sched is not None:
+            sched.notify_incoming(rank)
+        else:
+            self._note_wake_miss()
+
+    def notify_barrier_epoch(self) -> None:
+        """The barrier epoch advanced: wake every parked barrier waiter
+        (same no-scheduler miss accounting as :meth:`notify_incoming`)."""
+        sched = self.scheduler
+        if sched is not None:
+            sched.notify_barrier_epoch()
+        else:
+            self._note_wake_miss()
+
+    def _note_wake_miss(self) -> None:
+        # a single-rank world cannot have a parked waiter when an event
+        # fires (the only rank is the one running), so only multi-rank
+        # worlds count misses — the case where a waiter could exist
+        if self.size <= 1:
+            return
+        self.wake_notify_misses += 1
+        if not self._wake_miss_noted:
+            self._wake_miss_noted = True
+            logging.getLogger(__name__).debug(
+                "wake notification on a world with no attached scheduler; "
+                "waiters (if any) fall back to the predicate scan "
+                "(counted in World.wake_notify_misses)"
+            )
 
     # -- topology ----------------------------------------------------------
 
@@ -168,9 +241,7 @@ class World:
             self._barrier_arrived = 0
             self._barrier_maxclock = 0.0
             self._barrier_epoch += 1
-            sched = self.scheduler
-            if sched is not None:
-                sched.notify_barrier_epoch()
+            self.notify_barrier_epoch()
             ctx.clock.advance_to(self._barrier_release_ns)
             ctx.progress()
             if span is not None:
@@ -301,7 +372,7 @@ def spmd_run(
             switch_trace=switch_trace,
             wake_list=resolved.sched_wake_list,
         )
-        world.scheduler = loop
+        world.attach_scheduler(loop)
         values = loop.run(world, fn, args)
         world.sched_switches = loop.switches
         err = loop.first_error()
@@ -313,13 +384,12 @@ def spmd_run(
         switch_trace=switch_trace,
         wake_list=resolved.sched_wake_list,
     )
-    world.scheduler = sched
+    world.attach_scheduler(sched)
     results: list[Any] = [None] * ranks
     threads: list[threading.Thread] = []
 
     def runner(rank: int) -> None:
         ctx = world.contexts[rank]
-        ctx.scheduler = sched
         sched.register_thread(rank)
         try:
             sched.wait_for_token(rank)

@@ -43,6 +43,7 @@ scan stays available as the differential oracle
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Callable, Optional
 
@@ -121,6 +122,16 @@ class SchedulerCore:
         #: and does nothing when stale (the rank was woken by another event
         #: and has moved on — possibly blocking again on a different cell)
         self._wake_gen = [0] * nranks
+        #: the World whose completion sites notify this scheduler, bound by
+        #: :meth:`World.attach_scheduler <repro.runtime.runtime.World.\
+        #: attach_scheduler>`.  Until bound, keyed blocks are demoted to
+        #: the predicate scan (see :meth:`_enter_blocked`).
+        self._wake_source = None
+        #: keyed blocks demoted to the scan because no wake source was
+        #: bound when they parked — the observable form of the old silent
+        #: nested-world fallback (zero on every properly attached run)
+        self.keyed_scan_fallbacks = 0
+        self._fallback_noted = False
 
     # -- driver API ---------------------------------------------------------
 
@@ -154,6 +165,15 @@ class SchedulerCore:
 
     # -- wake-list internals -------------------------------------------------
 
+    def bind_wake_source(self, world) -> None:
+        """Record ``world`` as the source of wake events for this
+        scheduler (called by ``World.attach_scheduler``).  Every
+        recognized wake key's predicate folds in events — an incoming AM,
+        the barrier epoch advancing — that only the world-level notify
+        sites push, so until a source is bound a keyed block may not park
+        on its wake bit: it would sleep through its own wake."""
+        self._wake_source = world
+
     def _enter_blocked(self, rank: int, pred, wake) -> None:
         """Record ``rank`` as blocked; register its wake key (or count it
         unkeyed, which pins the pick to the legacy scan until it wakes)."""
@@ -163,6 +183,24 @@ class SchedulerCore:
         bit = 1 << rank
         self._ready_mask &= ~bit
         if not self._wake_list or wake is None:
+            self._unkeyed += 1
+            return
+        if self._wake_source is None:
+            # keyed, but no world routes wake events here: this scheduler
+            # is driving ranks of a world that was never attached via
+            # World.attach_scheduler.  Demote to the predicate scan —
+            # correct (the scan re-evaluates the predicate every switch),
+            # observable (counter + one-time note), never a lost wake.
+            self.keyed_scan_fallbacks += 1
+            if not self._fallback_noted:
+                self._fallback_noted = True
+                logging.getLogger(__name__).debug(
+                    "keyed block on a scheduler with no bound wake "
+                    "source; falling back to the predicate scan (counted "
+                    "in SchedulerCore.keyed_scan_fallbacks — attach the "
+                    "scheduler via World.attach_scheduler to restore "
+                    "wake-list scheduling)"
+                )
             self._unkeyed += 1
             return
         kind = wake[0]

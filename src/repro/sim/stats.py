@@ -89,6 +89,77 @@ def run_samples(
 
 
 # ---------------------------------------------------------------------------
+# seed-repetition confidence intervals (the A/B engine's error bars)
+# ---------------------------------------------------------------------------
+
+#: two-sided Student-t critical values at 95% confidence by degrees of
+#: freedom; beyond the table the normal approximation (1.96) is close
+#: enough for an error bar.  Hardcoded so the helper stays stdlib-only
+#: and bit-reproducible across environments (no scipy dependency).
+_T95_BY_DF = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A 95% Student-t confidence interval of a mean over per-seed
+    samples.  Virtual-time metrics are deterministic given a seed, so all
+    interval width comes from seed-to-seed workload variation; a single
+    seed (or identical samples) yields a zero-width interval — a gate
+    built on it then demands exact reproduction."""
+
+    mean: float
+    lo: float
+    hi: float
+    n: int
+    stdev: float
+
+    @property
+    def halfwidth(self) -> float:
+        return self.hi - self.mean
+
+    def as_dict(self) -> dict:
+        """JSON-artifact form (rounded for stable diffs)."""
+        return {
+            "mean": round(self.mean, 9),
+            "lo": round(self.lo, 9),
+            "hi": round(self.hi, 9),
+            "n": self.n,
+            "stdev": round(self.stdev, 9),
+        }
+
+
+def seed_confidence_interval(
+    samples: Sequence[float],
+) -> ConfidenceInterval:
+    """95% confidence interval of the mean of ``samples`` (one
+    measurement per seed), using Student-t critical values for small n.
+    """
+    if not samples:
+        raise ValueError(
+            "seed_confidence_interval requires at least one sample"
+        )
+    vals = [float(v) for v in samples]
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, lo=mean, hi=mean, n=1, stdev=0.0)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    stdev = var ** 0.5
+    t = _T95_BY_DF.get(n - 1, 1.96)
+    half = t * stdev / n ** 0.5
+    return ConfidenceInterval(
+        mean=mean, lo=mean - half, hi=mean + half, n=n, stdev=stdev
+    )
+
+
+# ---------------------------------------------------------------------------
 # runtime-internal counters surfaced for benchmarks/tests
 # ---------------------------------------------------------------------------
 

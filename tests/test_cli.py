@@ -1,11 +1,13 @@
 """Tests for the ``python -m repro.bench`` command-line figure runner."""
 
+import argparse
+import json
 import subprocess
 import sys
 
 import pytest
 
-from repro.bench.__main__ import build_parser, main
+from repro.bench.__main__ import _resolve_artifact_out, build_parser, main
 
 
 def run_cli(*args, timeout=240):
@@ -65,6 +67,112 @@ class TestInProcess:
         out = capsys.readouterr().out
         assert "Figure 8" in out
         assert "youtube" in out
+
+
+class TestArtifactParsers:
+    def test_ab_defaults(self):
+        args = build_parser().parse_args(["ab"])
+        assert args.spec is None and args.out is None
+        assert not args.quick and not args.gate and not args.force
+
+    def test_ab_spec_repeatable(self):
+        args = build_parser().parse_args(
+            ["ab", "--spec", "wake_scan", "--spec", "eager_defer"]
+        )
+        assert args.spec == ["wake_scan", "eager_defer"]
+
+    def test_ab_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ab", "--spec", "nope"])
+
+    def test_artifact_out_defaults_to_none(self):
+        # --out None lets quick runs pick BENCH_<name>.quick.json
+        for cmd in ("sched", "serve", "cont"):
+            args = build_parser().parse_args([cmd])
+            assert args.out is None and not args.force
+
+    def test_validate_paths(self):
+        args = build_parser().parse_args(["validate", "a.json", "b.json"])
+        assert args.paths == ["a.json", "b.json"]
+
+
+class TestQuickArtifactNaming:
+    def _args(self, **kw):
+        base = dict(out=None, quick=False, force=False)
+        base.update(kw)
+        return argparse.Namespace(**base)
+
+    def test_full_default_is_canonical(self):
+        assert _resolve_artifact_out("sched", self._args()) == (
+            "BENCH_sched.json"
+        )
+
+    def test_quick_default_has_quick_marker(self):
+        assert _resolve_artifact_out("sched", self._args(quick=True)) == (
+            "BENCH_sched.quick.json"
+        )
+
+    def test_quick_refuses_to_clobber_full_artifact(self, tmp_path):
+        target = tmp_path / "BENCH_x.json"
+        target.write_text(json.dumps({"bench": "sched", "quick": False}))
+        with pytest.raises(SystemExit, match="refusing to overwrite"):
+            _resolve_artifact_out(
+                "sched", self._args(out=str(target), quick=True)
+            )
+
+    def test_force_overrides_refusal(self, tmp_path):
+        target = tmp_path / "BENCH_x.json"
+        target.write_text(json.dumps({"bench": "sched", "quick": False}))
+        out = _resolve_artifact_out(
+            "sched", self._args(out=str(target), quick=True, force=True)
+        )
+        assert out == str(target)
+
+    def test_quick_over_quick_is_fine(self, tmp_path):
+        target = tmp_path / "BENCH_x.quick.json"
+        target.write_text(json.dumps({"bench": "sched", "quick": True}))
+        out = _resolve_artifact_out(
+            "sched", self._args(out=str(target), quick=True)
+        )
+        assert out == str(target)
+
+    def test_explicit_out_to_fresh_path_is_fine(self, tmp_path):
+        out = _resolve_artifact_out(
+            "sched", self._args(out=str(tmp_path / "new.json"), quick=True)
+        )
+        assert out.endswith("new.json")
+
+
+class TestAbInProcess:
+    def test_ab_out_with_multiple_specs_rejected(self):
+        with pytest.raises(SystemExit, match="single spec"):
+            main(["ab", "--out", "x.json"])
+
+    def test_ab_gate_missing_baseline_fails(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="unreadable"):
+            main(["ab", "--spec", "wake_scan", "--quick", "--gate"])
+
+    def test_ab_quick_writes_quick_artifact_and_gates(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        main(["ab", "--spec", "wake_scan", "--quick"])
+        art = tmp_path / "BENCH_ab_wake_scan.quick.json"
+        assert art.exists()
+        doc = json.loads(art.read_text())
+        assert doc["quick"] is True and doc["bench"] == "ab"
+        # second run gates clean against the first (determinism)
+        main(["ab", "--spec", "wake_scan", "--quick", "--gate",
+              "--baseline", str(art)])
+        assert "gate OK" in capsys.readouterr().out
+
+    def test_validate_runs_over_artifacts(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        main(["validate"])
+        assert "no BENCH_" in capsys.readouterr().out
 
 
 class TestSubprocess:

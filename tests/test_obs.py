@@ -413,6 +413,50 @@ class TestHistogramQuantile:
             snap.quantile(2.0)
 
 
+class TestHistogramQuantileEdgeCases:
+    """Pinned edge cases: the extremes are *recorded* (min/max), so the
+    quantile must return them exactly — never an edge-extrapolated guess
+    from an unbounded bucket."""
+
+    def test_q1_in_overflow_bucket_is_exact_max(self):
+        h = HistogramMetric("t", edges=(10.0, 100.0))
+        for v in (5.0, 50.0, 77777.0):  # max lands past the last edge
+            h.record(v)
+        snap = h.snapshot()
+        assert snap.quantile(1.0) == 77777.0
+
+    def test_q0_is_exact_min(self):
+        h = HistogramMetric("t", edges=(10.0, 100.0))
+        for v in (3.0, 50.0, 500.0):
+            h.record(v)
+        assert h.snapshot().quantile(0.0) == 3.0
+
+    def test_single_sample_every_q(self):
+        h = HistogramMetric("t", edges=(10.0, 100.0))
+        h.record(42.0)
+        snap = h.snapshot()
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert snap.quantile(q) == 42.0
+
+    def test_all_samples_one_bucket_clamped_to_observed_range(self):
+        h = HistogramMetric("t", edges=(10.0, 100.0, 1000.0))
+        for v in (40.0, 50.0, 60.0):  # all in (10, 100]
+            h.record(v)
+        snap = h.snapshot()
+        for q in (0.0, 0.3, 0.5, 0.9, 1.0):
+            assert 40.0 <= snap.quantile(q) <= 60.0
+
+    def test_monotone_with_overflow_and_underflow(self):
+        h = HistogramMetric("t", edges=(10.0, 100.0))
+        for v in (1.0, 2.0, 55.0, 200.0, 90000.0):
+            h.record(v)
+        snap = h.snapshot()
+        qs = (0.0, 0.2, 0.5, 0.8, 0.999, 1.0)
+        vals = [snap.quantile(q) for q in qs]
+        assert vals == sorted(vals)
+        assert vals[0] == 1.0 and vals[-1] == 90000.0
+
+
 # ---------------------------------------------------------------------------
 # serving request spans in the trace export
 # ---------------------------------------------------------------------------
